@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (table or figure), prints
+the measured-vs-paper comparison, and asserts the qualitative shape the
+paper claims.  The evaluation setup is shared across benches to
+amortize scenario construction.
+"""
+
+import pytest
+
+from repro.experiments.eval_exps import default_setup
+
+
+@pytest.fixture(scope="session")
+def eval_setup():
+    """Scaled intra-Europe setup shared by the §7/§8 benches."""
+    return default_setup(daily_calls=6_000.0, top_n_configs=60)
+
+
+def emit(result):
+    """Print a rendered experiment block (visible with ``-s`` / on failure)."""
+    print()
+    print(result.render())
+    return result

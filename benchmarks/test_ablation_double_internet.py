@@ -1,0 +1,13 @@
+"""§7.4 ablation — hypothetically doubled Internet capacity."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_ablation_double_internet
+
+
+def test_ablation_double_internet(benchmark, eval_setup):
+    result = benchmark.pedantic(run_ablation_double_internet, kwargs={"setup": eval_setup}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # More Internet capacity, (weakly) more savings.
+    assert measured["tn_2x_savings_vs_wrr"] >= measured["tn_savings_vs_wrr"] - 1e-9

@@ -1,0 +1,16 @@
+"""§4.2(7) — fiber cut: WAN detour plus Internet fall-back."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_ablation_fiber_cut
+
+
+def test_ablation_fiber_cut(benchmark):
+    result = benchmark.pedantic(run_ablation_fiber_cut, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Losing a backbone link can only make the WAN bill worse (or equal,
+    # if the link was not load-bearing for the optimum).
+    assert measured["sum_of_peaks_after"] >= measured["sum_of_peaks_before"] - 1e-6
+    # The Internet keeps carrying traffic through the cut.
+    assert measured["internet_share_after"] > 0

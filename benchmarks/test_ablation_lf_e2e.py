@@ -1,0 +1,12 @@
+"""§7.4 ablation — TN vs LF minimizing total max-E2E latency."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_ablation_lf_e2e
+
+
+def test_ablation_lf_e2e(benchmark, eval_setup):
+    result = benchmark.pedantic(run_ablation_lf_e2e, kwargs={"setup": eval_setup}, rounds=1)
+    emit(result)
+    # TN still beats the latency-optimizing variant on peaks.
+    assert result.measured["tn_savings_vs_lf_e2e"] > 0.0

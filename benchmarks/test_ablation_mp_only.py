@@ -1,0 +1,15 @@
+"""§7.4 ablation — savings from MP DC placement only."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_ablation_mp_only
+
+
+def test_ablation_mp_only(benchmark, eval_setup):
+    result = benchmark.pedantic(run_ablation_mp_only, kwargs={"setup": eval_setup}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Placement alone captures part of the savings; Internet offload
+    # adds the rest (full >= mp-only > 0).
+    assert measured["tn_mp_only_savings_vs_wrr"] > 0.0
+    assert measured["tn_full_savings_vs_wrr"] >= measured["tn_mp_only_savings_vs_wrr"] - 1e-9

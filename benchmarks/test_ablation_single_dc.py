@@ -1,0 +1,12 @@
+"""§6.3 'what did not work' — one DC per config kills the savings."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_ablation_single_dc
+
+
+def test_ablation_single_dc(benchmark, eval_setup):
+    result = benchmark.pedantic(run_ablation_single_dc, kwargs={"setup": eval_setup}, rounds=1)
+    emit(result)
+    # Pinning each config to one DC gives up peak-shaving flexibility.
+    assert result.measured["savings_lost_by_pinning"] > 0.0

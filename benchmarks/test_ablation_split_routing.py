@@ -1,0 +1,15 @@
+"""Future work (§6.3) — per-participant split routing prototype."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_ablation_split_routing
+
+
+def test_ablation_split_routing(benchmark, eval_setup):
+    result = benchmark.pedantic(run_ablation_split_routing, kwargs={"setup": eval_setup}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Split routing can never be worse than the single-option LP (its
+    # feasible region strictly contains the single-option region at the
+    # aggregate level), and the latency constraint is weaker.
+    assert measured["split_routing_sum_of_peaks"] <= measured["single_option_sum_of_peaks"] * (1 + 1e-6)

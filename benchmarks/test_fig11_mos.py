@@ -1,0 +1,13 @@
+"""Fig 11 — impact of max E2E latency on user experience (MOS)."""
+
+from conftest import emit
+
+from repro.experiments.quality_exps import run_fig11
+
+
+def test_fig11_mos_curve(benchmark):
+    result = benchmark.pedantic(run_fig11, kwargs={"samples_per_bucket": 600}, rounds=1)
+    emit(result)
+    # Flat until ~75ms, then a clear decline (Fig 11's two claims).
+    assert abs(result.measured["drop_below_knee"]) < 0.06
+    assert result.measured["drop_beyond_knee"] < -0.08

@@ -1,0 +1,19 @@
+"""Fig 14 — oracle sum-of-peak WAN bandwidth per day of the week."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_fig14
+
+
+def test_fig14_oracle_week(benchmark, eval_setup):
+    result = benchmark.pedantic(run_fig14, kwargs={"setup": eval_setup}, rounds=1)
+    emit(result)
+    rows = result.measured["normalized_peaks_by_day"]
+    # TN wins on every day; LF sits between TN and WRR on weekdays.
+    for label, row in rows.items():
+        assert row["titan-next"] < 1.0, label
+        assert row["titan-next"] <= row["lf"] + 1e-9, label
+    # Weekday savings in the paper's ballpark (24-28% vs WRR).
+    savings = result.measured["tn_savings_vs_wrr_weekdays"]
+    assert min(savings) > 0.10
+    assert max(savings) < 0.55

@@ -1,0 +1,16 @@
+"""Fig 15 — prediction-based sum-of-peak WAN bandwidth."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_fig15
+
+
+def test_fig15_prediction_mode(benchmark, eval_setup):
+    result = benchmark.pedantic(run_fig15, kwargs={"setup": eval_setup}, rounds=1)
+    emit(result)
+    # TN (planning on forecasts) still wins big over first-joiner
+    # baselines; the paper reports 55-61% vs WRR, we land lower but the
+    # ordering and scale of the gap hold.
+    assert result.measured["tn_savings_vs_wrr"] > 0.25
+    normalized = result.measured["normalized_peaks"]
+    assert normalized["titan-next"] == min(normalized.values())

@@ -1,0 +1,19 @@
+"""Fig 16 — CDF of sustained loss spikes across European pairs."""
+
+from conftest import emit
+
+from repro.experiments.quality_exps import run_fig16
+
+
+def test_fig16_sustained_spikes(benchmark):
+    result = benchmark.pedantic(run_fig16, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Internet suffers sustained >=0.1% loss slots far more than WAN.
+    assert measured["internet_median_slot_share_ge_0.1pct"] > 0.005
+    assert measured["wan_max_slot_share_ge_0.1pct"] <= 0.02
+    # >=1% slots are rarer than >=0.1% slots.
+    assert (
+        measured["internet_median_slot_share_ge_1pct"]
+        <= measured["internet_median_slot_share_ge_0.1pct"]
+    )

@@ -1,0 +1,14 @@
+"""Fig 17 — elasticity CDFs across European (country, DC) pairs."""
+
+from conftest import emit
+
+from repro.experiments.quality_exps import run_fig17
+
+
+def test_fig17_elasticity_cdf(benchmark):
+    result = benchmark.pedantic(run_fig17, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Paper: P90 latency delta < 20 ms; loss deltas tiny.
+    assert measured["p90_rtt_delta_ms"] < 20.0
+    assert abs(measured["median_loss_delta_pct"]) < 0.2

@@ -1,0 +1,15 @@
+"""Fig 18 — latency change over 12 months."""
+
+from conftest import emit
+
+from repro.experiments.measurement_exps import run_fig18
+
+
+def test_fig18_longterm_trend(benchmark):
+    result = benchmark.pedantic(run_fig18, kwargs={"hours": 96}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # 80+% of paths improved; Internet improves at least as much as WAN.
+    assert measured["wan_fraction_improved"] > 0.7
+    assert measured["internet_fraction_improved"] > 0.7
+    assert measured["internet_median_change_ms"] <= measured["wan_median_change_ms"]

@@ -1,0 +1,14 @@
+"""Fig 19 — the F heatmap six months earlier (stability)."""
+
+from conftest import emit
+
+from repro.experiments.measurement_exps import run_fig19
+
+
+def test_fig19_stability(benchmark):
+    result = benchmark.pedantic(run_fig19, kwargs={"hours": 96}, rounds=1)
+    emit(result)
+    # The broad trends hold six months apart: modest average drift
+    # against the published Dec'23 heatmap.
+    assert result.measured["cells"] == 132
+    assert result.measured["mean_abs_error_vs_paper"] < 0.20

@@ -1,0 +1,16 @@
+"""Fig 20 — CDF of normalized forecast errors (RMSE / MAE)."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_fig20
+
+
+def test_fig20_forecast_accuracy(benchmark):
+    result = benchmark.pedantic(run_fig20, kwargs={"configs": 20}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Small median errors, RMSE above MAE, most configs under 20%.
+    assert measured["median_mae"] < 0.15
+    assert measured["median_rmse"] < 0.25
+    assert measured["median_rmse"] >= measured["median_mae"]
+    assert measured["share_mae_below_20pct"] > 0.7

@@ -1,0 +1,22 @@
+"""Fig 3 — CDFs of Internet-minus-WAN hourly-median latency."""
+
+from conftest import emit
+
+from repro.experiments.measurement_exps import run_fig3
+
+
+def test_fig3_latency_diff_buckets(benchmark):
+    result = benchmark.pedantic(run_fig3, kwargs={"hours": 120, "hour_step": 6}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Paper: 33.7% strictly better / 24.0% / 19.6% / 22.7%.
+    assert 0.25 <= measured["internet_strictly_better"] <= 0.45
+    assert measured["worse_up_to_10ms"] >= 0.15
+    assert measured["worse_beyond_25ms"] >= 0.10
+    total = (
+        measured["internet_strictly_better"]
+        + measured["worse_up_to_10ms"]
+        + measured["worse_10_to_25ms"]
+        + measured["worse_beyond_25ms"]
+    )
+    assert abs(total - 1.0) < 1e-9

@@ -1,0 +1,13 @@
+"""Fig 4 — fraction F heatmap (22 countries x 6 DCs)."""
+
+from conftest import emit
+
+from repro.experiments.measurement_exps import run_fig4
+
+
+def test_fig4_heatmap(benchmark):
+    result = benchmark.pedantic(run_fig4, kwargs={"hours": 120}, rounds=1)
+    emit(result)
+    assert result.measured["cells"] == 132
+    # Calibrated against the published heatmap: small average error.
+    assert result.measured["mean_abs_error_vs_paper"] < 0.10

@@ -1,0 +1,16 @@
+"""Fig 5 — F difference across clustering granularities."""
+
+from conftest import emit
+
+from repro.experiments.measurement_exps import run_fig5
+
+
+def test_fig5_granularity(benchmark):
+    result = benchmark.pedantic(run_fig5, kwargs={"hours": 72}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Country-level clustering is good enough: differences bounded.
+    for granularity in ("asn", "city", "city_asn"):
+        assert measured[granularity]["p50"] < 0.25
+    # City-level diverges less than ASN-level (Fig 5 ordering).
+    assert measured["city"]["p50"] <= measured["asn"]["p50"]

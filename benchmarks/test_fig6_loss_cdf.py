@@ -1,0 +1,18 @@
+"""Fig 6 — loss CDFs for WAN and Internet, 3 European DCs."""
+
+from conftest import emit
+
+from repro.experiments.quality_exps import run_fig6
+
+
+def test_fig6_loss_cdfs(benchmark):
+    result = benchmark.pedantic(run_fig6, kwargs={"hours": 120}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Low loss for a large share of hours on both options...
+    assert measured["internet_share_below_0.01pct"] > 0.2
+    assert measured["wan_share_below_0.01pct"] > 0.2
+    # ...but the Internet tail is much heavier (>=0.1% loss hours).
+    assert measured["internet_share_at_least_0.1pct"] > 5 * max(
+        measured["wan_share_at_least_0.1pct"], 1e-4
+    )

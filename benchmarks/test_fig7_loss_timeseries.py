@@ -1,0 +1,15 @@
+"""Fig 7 — loss time series, France clients to the Netherlands DC."""
+
+from conftest import emit
+
+from repro.experiments.quality_exps import run_fig7
+
+
+def test_fig7_loss_spikes(benchmark):
+    result = benchmark.pedantic(run_fig7, kwargs={"days": 7}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Internet spikes are taller and more frequent than the WAN's.
+    assert measured["peak_ratio_internet_over_wan"] > 3.0
+    assert measured["internet_spike_hours"] > measured["wan_spike_hours"]
+    assert measured["wan_peak_loss_pct"] < 0.2

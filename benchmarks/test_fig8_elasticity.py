@@ -1,0 +1,13 @@
+"""Fig 8 — loss and RTT vs fraction of traffic on the Internet."""
+
+from conftest import emit
+
+from repro.experiments.quality_exps import run_fig8
+
+
+def test_fig8_elasticity(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1)
+    emit(result)
+    # Paper: no systematic inflation up to the 20% production cap.
+    assert abs(result.measured["rtt_drift_ms"]) < 5.0
+    assert abs(result.measured["loss_drift_pct"]) < 0.05

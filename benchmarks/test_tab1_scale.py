@@ -1,0 +1,15 @@
+"""Table 1 — scale of the measurement study."""
+
+from conftest import emit
+
+from repro.experiments.measurement_exps import run_tab1
+
+
+def test_tab1_scale(benchmark):
+    result = benchmark.pedantic(run_tab1, kwargs={"probes_per_country_hour": 4, "hours": 24}, rounds=1)
+    emit(result)
+    # Same schema as the paper's Table 1, at our synthetic scale.
+    assert result.measured["destination_dcs"] == 21
+    assert result.measured["source_countries"] >= 30
+    assert result.measured["source_cities"] > result.measured["source_countries"]
+    assert result.measured["ip_subnets"] >= result.measured["source_asns"]

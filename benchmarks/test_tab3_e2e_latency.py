@@ -1,0 +1,18 @@
+"""Table 3 — daily average of max E2E latency for WRR / LF / TN."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_tab3
+
+
+def test_tab3_e2e_latency(benchmark, eval_setup):
+    result = benchmark.pedantic(run_tab3, kwargs={"setup": eval_setup}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Ordering: LF best (optimizes latency), TN close, WRR worst.
+    assert measured["lf"]["mean_ms"] <= measured["titan-next"]["mean_ms"]
+    assert measured["titan-next"]["mean_ms"] < measured["wrr"]["mean_ms"]
+    # TN's penalty vs LF is small relative to WRR's gap (the §7.5 claim).
+    gap_tn = measured["titan-next"]["mean_ms"] - measured["lf"]["mean_ms"]
+    gap_wrr = measured["wrr"]["mean_ms"] - measured["lf"]["mean_ms"]
+    assert gap_tn < 0.75 * gap_wrr

@@ -1,0 +1,14 @@
+"""Table 4 — call migrations with vs without reduced call configs."""
+
+from conftest import emit
+
+from repro.experiments.eval_exps import run_tab4
+
+
+def test_tab4_migration_reduction(benchmark, eval_setup):
+    result = benchmark.pedantic(run_tab4, kwargs={"setup": eval_setup}, rounds=1)
+    emit(result)
+    measured = result.measured
+    # Reduced call configs cut migrations (the Table 4 claim).
+    assert measured["migration_rate_with_reduced"] <= measured["migration_rate_with_raw"]
+    assert measured["migration_rate_with_raw"] > 0

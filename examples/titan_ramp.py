@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Titan in action: quality-gated ramp of traffic to the Internet (§4).
+
+Creates a Titan controller for every (European country, European DC)
+pair and runs two months of evaluation rounds.  Watch it:
+
+* ramp healthy pairs in 1-3% steps up to the 20% safety cap;
+* back off on moderate regressions (loss spikes, latency inflation);
+* pull the emergency brake on severe ones;
+* disable Germany and Austria outright (§4.2(5): unacceptable Internet
+  loss even at tiny offload fractions).
+
+Run:
+    python examples/titan_ramp.py
+"""
+
+from collections import Counter
+
+from repro.core.titan import DISABLED, SyntheticPathProber, Titan
+from repro.geo.world import default_world
+from repro.net.latency import LatencyModel
+from repro.net.loss import LossModel
+
+
+def main() -> None:
+    world = default_world()
+    prober = SyntheticPathProber(LatencyModel(world), LossModel(world))
+    dcs = ("westeurope", "ireland", "france-central")
+    pairs = [(country.code, dc) for country in world.europe_countries for dc in dcs]
+
+    print(f"Managing {len(pairs)} (country, DC) pairs; evaluating ~2 months ...\n")
+    titan = Titan(world, prober, pairs, pair_traffic_gbps=lambda c, d: 2.0)
+    book = titan.run(evaluations=24)
+
+    states = Counter(ramp.state for ramp in titan.ramps.values())
+    print("Final ramp states:", dict(states))
+
+    print("\nPer-country outcome against the westeurope DC:")
+    print(f"  {'country':<8} {'state':<10} {'fraction':>9} {'capacity':>9}")
+    for country in world.europe_countries:
+        state = titan.state(country.code, "westeurope")
+        fraction = titan.fraction(country.code, "westeurope")
+        gbps = book.gbps(country.code, "westeurope")
+        marker = "  <- disabled (bad Internet loss)" if state == DISABLED else ""
+        print(f"  {country.code:<8} {state:<10} {fraction:>8.1%} {gbps:>7.2f}Gb{marker}")
+
+    print("\nSample ramp trajectory (GB -> westeurope):")
+    history = titan.ramps[("GB", "westeurope")].history
+    line = " ".join(f"{fraction:.0%}" for fraction, _ in history)
+    print(f"  {line}")
+
+    de_states = [titan.state("DE", dc) for dc in dcs]
+    print(f"\nGermany across DCs: {de_states}")
+    print("The capacity book above is exactly what Titan-Next's LP consumes (C3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Network cost accounting — the paper's economic motivation (§2.3).
+
+Cloud providers charge differently for the two routing options: the
+paper cites GCP's Singapore prices of $0.15/GB (WAN / premium tier) vs
+$0.075/GB (Internet / standard tier) — "Internet paths are cheaper than
+WAN up to 53%".  For a first-party service like Teams the WAN bill is
+driven by *peak* usage of individual links ("the billing is done based
+on the peak usage", §2.2a), while Internet egress is metered per GB.
+
+This module turns an evaluated assignment into a cost report under a
+configurable tariff, so policies can be compared in currency rather
+than Gbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from .metrics import EvaluationResult
+
+
+@dataclass(frozen=True)
+class Tariff:
+    """A provider tariff.
+
+    * ``wan_per_peak_gbps``: monthly commitment cost per Gbps of
+      per-link peak on the private backbone (95th-percentile style
+      billing, normalized here to the horizon being evaluated);
+    * ``internet_per_gb``: metered Internet egress, per GB;
+    * ``wan_per_gb_equivalent``: what the same traffic would cost per GB
+      if the provider metered the premium tier (used for the headline
+      "up to 53% cheaper" comparison).
+    """
+
+    wan_per_peak_gbps: float = 100.0
+    internet_per_gb: float = 0.075
+    wan_per_gb_equivalent: float = 0.15
+
+    def __post_init__(self) -> None:
+        if min(self.wan_per_peak_gbps, self.internet_per_gb, self.wan_per_gb_equivalent) < 0:
+            raise ValueError("tariff rates must be non-negative")
+
+    @property
+    def internet_discount(self) -> float:
+        """Relative per-GB discount of Internet vs WAN (≤53% in the paper)."""
+        if self.wan_per_gb_equivalent <= 0:
+            return 0.0
+        return 1.0 - self.internet_per_gb / self.wan_per_gb_equivalent
+
+
+#: The paper's cited GCP Singapore tariff (per-GB side).
+GCP_SINGAPORE = Tariff(wan_per_peak_gbps=100.0, internet_per_gb=0.075, wan_per_gb_equivalent=0.15)
+
+
+@dataclass
+class CostReport:
+    """Cost breakdown for one evaluated policy run."""
+
+    policy: str
+    wan_peak_cost: float
+    internet_egress_cost: float
+    #: Hypothetical cost had the Internet traffic stayed on the WAN
+    #: (per-GB equivalent), for the savings headline.
+    counterfactual_wan_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.wan_peak_cost + self.internet_egress_cost
+
+    @property
+    def egress_savings(self) -> float:
+        """Savings on the offloaded traffic vs keeping it on the WAN."""
+        return self.counterfactual_wan_cost - self.internet_egress_cost
+
+
+def _slot_hours(result: EvaluationResult, slots_per_day: int = 48) -> float:
+    # One 30-minute slot = 0.5 h; load matrices are keyed per slot.
+    return 0.5
+
+
+def internet_traffic_gb(result: EvaluationResult, slots_per_day: int = 48) -> float:
+    """Total Internet egress in GB over the evaluated horizon.
+
+    Loads are Gbit/s sustained over 30-minute slots:
+    GB = Gbps × 1800 s / 8 bits.
+    """
+    gbps_slots = sum(result.internet_loads.values())
+    return gbps_slots * 1800.0 / 8.0
+
+
+def cost_of(
+    result: EvaluationResult,
+    tariff: Optional[Tariff] = None,
+) -> CostReport:
+    """Price one policy's evaluated assignment under a tariff."""
+    tariff = tariff if tariff is not None else GCP_SINGAPORE
+    peak_cost = result.sum_of_peaks_gbps * tariff.wan_per_peak_gbps
+    egress_gb = internet_traffic_gb(result)
+    internet_cost = egress_gb * tariff.internet_per_gb
+    counterfactual = egress_gb * tariff.wan_per_gb_equivalent
+    return CostReport(
+        policy=result.policy,
+        wan_peak_cost=peak_cost,
+        internet_egress_cost=internet_cost,
+        counterfactual_wan_cost=counterfactual,
+    )
+
+
+def compare_costs(
+    results: Mapping[str, EvaluationResult],
+    tariff: Optional[Tariff] = None,
+    reference: str = "wrr",
+) -> Dict[str, Dict[str, float]]:
+    """Side-by-side cost table normalized to a reference policy."""
+    reports = {name: cost_of(result, tariff) for name, result in results.items()}
+    if reference not in reports:
+        raise KeyError(f"reference policy {reference!r} missing")
+    ref_total = reports[reference].total
+    if ref_total <= 0:
+        raise ValueError("reference cost must be positive")
+    return {
+        name: {
+            "wan_peak_cost": report.wan_peak_cost,
+            "internet_egress_cost": report.internet_egress_cost,
+            "total": report.total,
+            "normalized_total": report.total / ref_total,
+            "egress_savings": report.egress_savings,
+        }
+        for name, report in reports.items()
+    }

@@ -1,0 +1,162 @@
+"""Evaluation metrics (§7.1).
+
+Every policy's output is an assignment table; this module turns it into
+the four metrics the paper reports:
+
+(a) **sum of peak WAN bandwidth** — per-link peak over the horizon,
+    summed across links (the quantity the operator is billed on);
+(b) **total WAN traffic** — load summed over links *and* slots;
+(c) **E2E latency** — per-call max end-to-end latency statistics;
+(d) **call migrations** — counted by the online controller
+    (:mod:`repro.core.controller`), not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..net.latency import INTERNET, WAN
+from ..workload.configs import CallConfig
+from .stats import weighted_percentile
+
+
+@dataclass
+class LoadMatrix:
+    """WAN link loads (Gbps) per (link index, slot)."""
+
+    loads: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def add(self, link_idx: int, slot: int, gbps: float) -> None:
+        key = (link_idx, slot)
+        self.loads[key] = self.loads.get(key, 0.0) + gbps
+
+    def link_peak(self, link_idx: int) -> float:
+        peaks = [v for (l, _), v in self.loads.items() if l == link_idx]
+        return max(peaks) if peaks else 0.0
+
+    def sum_of_peaks(self) -> float:
+        by_link: Dict[int, float] = {}
+        for (link_idx, _), value in self.loads.items():
+            by_link[link_idx] = max(by_link.get(link_idx, 0.0), value)
+        return sum(by_link.values())
+
+    def total_traffic(self) -> float:
+        return sum(self.loads.values())
+
+    def slot_load(self, slot: int) -> float:
+        return sum(v for (_, s), v in self.loads.items() if s == slot)
+
+
+@dataclass
+class EvaluationResult:
+    """All §7.1 metrics for one policy run."""
+
+    policy: str
+    wan: LoadMatrix
+    #: Internet load per ((country, dc), slot), Gbps.
+    internet_loads: Dict[Tuple[Tuple[str, str], int], float]
+    #: (e2e latency ms, calls) samples for latency statistics.
+    e2e_samples: List[Tuple[float, float]]
+    total_calls: float
+
+    @property
+    def sum_of_peaks_gbps(self) -> float:
+        return self.wan.sum_of_peaks()
+
+    @property
+    def total_wan_traffic(self) -> float:
+        return self.wan.total_traffic()
+
+    @property
+    def internet_share(self) -> float:
+        """Fraction of participant bandwidth carried by the Internet."""
+        internet = sum(self.internet_loads.values())
+        total = internet + self.wan_edge_traffic
+        return internet / total if total > 0 else 0.0
+
+    @property
+    def wan_edge_traffic(self) -> float:
+        # Total WAN participant traffic (not per-link): stored alongside.
+        return getattr(self, "_wan_edge_traffic", 0.0)
+
+    def mean_e2e_ms(self) -> float:
+        if not self.e2e_samples:
+            return 0.0
+        values = np.array([v for v, _ in self.e2e_samples])
+        weights = np.array([w for _, w in self.e2e_samples])
+        return float(np.average(values, weights=weights))
+
+    def median_e2e_ms(self) -> float:
+        return self.percentile_e2e_ms(50.0)
+
+    def percentile_e2e_ms(self, q: float) -> float:
+        if not self.e2e_samples:
+            return 0.0
+        values = [v for v, _ in self.e2e_samples]
+        weights = [w for _, w in self.e2e_samples]
+        return weighted_percentile(values, weights, q)
+
+
+def evaluate_assignment(
+    scenario,
+    assignment: Mapping[Tuple[int, CallConfig, str, str], float],
+    policy_name: str = "",
+) -> EvaluationResult:
+    """Score an assignment: realized link loads and latency stats.
+
+    The evaluator recomputes loads from the assignment itself (it does
+    not trust LP peak variables), so LP-based and heuristic policies are
+    scored identically.
+    """
+    wan = LoadMatrix()
+    internet_loads: Dict[Tuple[Tuple[str, str], int], float] = {}
+    e2e_samples: List[Tuple[float, float]] = []
+    total_calls = 0.0
+    wan_edge = 0.0
+
+    for (t, config, dc, option), count in assignment.items():
+        if count <= 0:
+            continue
+        total_calls += count
+        e2e = scenario.e2e_latency_ms(config, dc, option)
+        e2e_samples.append((e2e, count))
+        for country, _ in config.participants:
+            bw = config.country_bandwidth_gbps(country) * count
+            if bw <= 0:
+                continue
+            if option == WAN:
+                wan_edge += bw
+                for link_idx in scenario.link_indices(country, dc):
+                    wan.add(link_idx, t, bw)
+            else:
+                key = ((country, dc), t)
+                internet_loads[key] = internet_loads.get(key, 0.0) + bw
+
+    result = EvaluationResult(
+        policy=policy_name,
+        wan=wan,
+        internet_loads=internet_loads,
+        e2e_samples=e2e_samples,
+        total_calls=total_calls,
+    )
+    result._wan_edge_traffic = wan_edge
+    return result
+
+
+def normalize_to(results: Mapping[str, float], reference: str) -> Dict[str, float]:
+    """Normalize a {policy: value} map to one policy's value (Fig 14/15)."""
+    if reference not in results:
+        raise KeyError(f"reference policy {reference!r} missing")
+    ref = results[reference]
+    if ref <= 0:
+        raise ValueError("reference value must be positive")
+    return {name: value / ref for name, value in results.items()}
+
+
+def savings_vs(results: Mapping[str, float], reference: str) -> Dict[str, float]:
+    """Relative savings of each policy against a reference policy."""
+    normalized = normalize_to(results, reference)
+    return {name: 1.0 - value for name, value in normalized.items()}

@@ -1,0 +1,89 @@
+"""Plain-text rendering of evaluation results (tables and bar charts).
+
+The benchmark harness and examples print the same rows/series the paper
+reports; this module holds the shared formatting so output looks
+consistent everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .metrics import EvaluationResult, normalize_to
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    row_header: str = "",
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render ``{row: {column: value}}`` as an aligned text table."""
+    if not rows:
+        raise ValueError("empty table")
+    if columns is None:
+        columns = list(next(iter(rows.values())))
+    width = max(len(row_header), *(len(name) for name in rows)) + 2
+    col_widths = [max(10, len(c) + 2) for c in columns]
+    lines = [row_header.ljust(width) + "".join(c.rjust(w) for c, w in zip(columns, col_widths))]
+    for name, row in rows.items():
+        cells = []
+        for column, col_width in zip(columns, col_widths):
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cell = float_format.format(value)
+            else:
+                cell = str(value)
+            cells.append(cell.rjust(col_width))
+        lines.append(name.ljust(width) + "".join(cells))
+    return "\n".join(lines)
+
+
+def bar_chart(values: Mapping[str, float], width: int = 40, unit: str = "") -> str:
+    """Render a horizontal ASCII bar chart, scaled to the max value."""
+    if not values:
+        raise ValueError("empty chart")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("values must contain a positive entry")
+    label_width = max(len(name) for name in values) + 2
+    lines = []
+    for name, value in values.items():
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"{name.ljust(label_width)}{value:8.3f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+def policy_comparison(
+    results: Mapping[str, EvaluationResult],
+    reference: str = "wrr",
+) -> str:
+    """The standard §7.1 metric table for a set of policy results."""
+    peaks = {name: result.sum_of_peaks_gbps for name, result in results.items()}
+    normalized = normalize_to(peaks, reference)
+    rows: Dict[str, Dict[str, object]] = {}
+    for name, result in results.items():
+        rows[name] = {
+            "sum_of_peaks": result.sum_of_peaks_gbps,
+            f"vs_{reference}": normalized[name],
+            "total_traffic": result.total_wan_traffic,
+            "mean_e2e_ms": result.mean_e2e_ms(),
+            "p95_e2e_ms": result.percentile_e2e_ms(95),
+        }
+    return format_table(rows, row_header="policy")
+
+
+def cdf_sparkline(values: Sequence[float], bins: int = 20) -> str:
+    """A tiny text CDF: share of mass at each quantile step."""
+    import numpy as np
+
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        raise ValueError("empty sample")
+    blocks = " .:-=+*#%@"
+    quantiles = np.quantile(data, np.linspace(0, 1, bins))
+    lo, hi = quantiles[0], quantiles[-1]
+    if hi <= lo:
+        return blocks[-1] * bins
+    scaled = (quantiles - lo) / (hi - lo)
+    return "".join(blocks[min(len(blocks) - 1, int(s * (len(blocks) - 1)))] for s in scaled)

@@ -1,0 +1,65 @@
+"""Statistics helpers: CDFs, percentiles, hourly-median aggregation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative probabilities)."""
+    data = np.sort(np.asarray(values, dtype=float))
+    if data.size == 0:
+        raise ValueError("empty sample")
+    probs = np.arange(1, data.size + 1) / data.size
+    return data, probs
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """P(X <= threshold) for an empirical sample."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("empty sample")
+    return float(np.mean(data <= threshold))
+
+
+def weighted_percentile(values: Sequence[float], weights: Sequence[float], q: float) -> float:
+    """Weighted percentile (q in [0, 100]) by cumulative weight."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.size == 0:
+        raise ValueError("empty sample")
+    if v.shape != w.shape:
+        raise ValueError("values and weights must align")
+    if np.any(w < 0):
+        raise ValueError("weights must be non-negative")
+    order = np.argsort(v)
+    v, w = v[order], w[order]
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights sum to zero")
+    cum = np.cumsum(w) / total
+    idx = int(np.searchsorted(cum, q / 100.0, side="left"))
+    return float(v[min(idx, v.size - 1)])
+
+
+def hourly_medians(samples: Dict[int, List[float]]) -> Dict[int, float]:
+    """Median per hour for {hour: [samples]} maps."""
+    return {hour: float(np.median(vals)) for hour, vals in samples.items() if vals}
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / P95 / min / max summary."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ValueError("empty sample")
+    return {
+        "mean": float(np.mean(data)),
+        "median": float(np.median(data)),
+        "p95": float(np.percentile(data, 95)),
+        "min": float(np.min(data)),
+        "max": float(np.max(data)),
+    }

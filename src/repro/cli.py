@@ -1,0 +1,144 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig14
+    python -m repro run fig3 --hours 72
+    python -m repro run-all
+    python -m repro calibrate          # refit the Fig 4 richness table
+
+``run`` accepts ``--<key> <value>`` overrides forwarded to the
+experiment function (ints/floats parsed automatically).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _parse_value(raw: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
+
+
+def _collect_overrides(unknown: Sequence[str]) -> Dict[str, Any]:
+    overrides: Dict[str, Any] = {}
+    key: Optional[str] = None
+    for token in unknown:
+        if token.startswith("--"):
+            if key is not None:
+                overrides[key] = True
+            key = token[2:].replace("-", "_")
+        else:
+            if key is None:
+                raise SystemExit(f"unexpected argument: {token!r}")
+            overrides[key] = _parse_value(token)
+            key = None
+    if key is not None:
+        overrides[key] = True
+    return overrides
+
+
+def cmd_list() -> int:
+    from .experiments import experiment_ids
+
+    print("Available experiments (paper artifact -> id):")
+    for experiment_id in experiment_ids():
+        print(f"  {experiment_id}")
+    return 0
+
+
+def cmd_run(experiment_id: str, overrides: Dict[str, Any]) -> int:
+    from .experiments import run_experiment
+
+    as_json = bool(overrides.pop("json", False))
+    started = time.time()
+    result = run_experiment(experiment_id, **overrides)
+    if as_json:
+        print(result.to_json())
+    else:
+        print(result.render())
+        print(f"  [{time.time() - started:.1f}s]")
+    return 0
+
+
+def cmd_run_all() -> int:
+    from .experiments import experiment_ids, run_experiment
+    from .experiments.eval_exps import default_setup
+
+    needs_setup = {
+        "fig14", "tab3", "fig15", "tab4",
+        "abl-mponly", "abl-2x", "abl-e2e", "abl-ilp", "abl-split",
+    }
+    setup = default_setup()
+    failures: List[str] = []
+    for experiment_id in experiment_ids():
+        started = time.time()
+        try:
+            kwargs = {"setup": setup} if experiment_id in needs_setup else {}
+            result = run_experiment(experiment_id, **kwargs)
+        except Exception as error:  # surface and continue
+            failures.append(experiment_id)
+            print(f"== {experiment_id}: FAILED ({error}) ==")
+            continue
+        print(result.render())
+        print(f"  [{time.time() - started:.1f}s]\n")
+    if failures:
+        print(f"failed: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_calibrate(hours: int, iterations: int) -> int:
+    import pathlib
+
+    from .measurement.calibration import fit_richness_overrides, render_calibration_module
+
+    print(f"Fitting 132 richness cells against the published Fig 4 matrix "
+          f"({hours}h windows, {iterations} bisection steps) ...")
+    fitted = fit_richness_overrides(hours=hours, iterations=iterations)
+    target = pathlib.Path(__file__).parent / "net" / "_fig4_calibration.py"
+    target.write_text(render_calibration_module(fitted))
+    print(f"wrote {target}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of 'Saving Private WAN' (CoNEXT 2024).",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    subparsers.add_parser("list", help="list experiment ids")
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment_id")
+    subparsers.add_parser("run-all", help="run every experiment (slow)")
+    calibrate_parser = subparsers.add_parser("calibrate", help="refit the Fig 4 richness table")
+    calibrate_parser.add_argument("--hours", type=int, default=120)
+    calibrate_parser.add_argument("--iterations", type=int, default=11)
+
+    args, unknown = parser.parse_known_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.experiment_id, _collect_overrides(unknown))
+    if args.command == "run-all":
+        return cmd_run_all()
+    if args.command == "calibrate":
+        return cmd_calibrate(args.hours, args.iterations)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Core: Titan (production offload) and Titan-Next (joint assignment)."""
+
+from .capacity import InternetCapacityBook, PairCapacity, split_capacity_by_priority
+from .controller import (
+    CallAssignment,
+    ControllerStats,
+    FirstJoinerLf,
+    FirstJoinerTitan,
+    FirstJoinerWrr,
+    TitanNextController,
+)
+from .ecs import ArmMetrics, Experiment, QualityGates, Scorecard
+from .forecast import HoltWinters, forecast_day, normalized_errors
+from .lp import AssignmentTable, JointAssignmentLp, JointLpOptions, JointLpResult
+from .monitor import MonitorThresholds, RouteMonitor
+from .plan import OfflinePlan, PlanEntry
+from .replanner import ReplanEvent, RollingPlanner
+from .rollout import STAGES, GranularRollout, RolloutState, stage_share
+from .split_lp import SplitLpOptions, SplitLpResult, SplitRoutingLp
+from .policies import LocalityFirstPolicy, TitanNextPolicy, TitanPolicy, WrrPolicy
+from .scenario import Scenario, calibrate_compute_caps, estimate_pair_traffic_gbps
+from .titan import (
+    BACKOFF,
+    DISABLED,
+    EMERGENCY,
+    HOLDING,
+    RAMPING,
+    PairRamp,
+    SyntheticPathProber,
+    Titan,
+    TitanParams,
+)
+from .titan_next import (
+    EUROPE_EVAL_DCS,
+    EuropeSetup,
+    PredictionDayResult,
+    build_europe_setup,
+    migration_comparison,
+    oracle_demand_for_day,
+    predicted_demand_for_day,
+    run_oracle_day,
+    run_oracle_week,
+    run_prediction_day,
+)
+
+__all__ = [
+    "InternetCapacityBook",
+    "PairCapacity",
+    "split_capacity_by_priority",
+    "CallAssignment",
+    "ControllerStats",
+    "FirstJoinerLf",
+    "FirstJoinerTitan",
+    "FirstJoinerWrr",
+    "TitanNextController",
+    "ArmMetrics",
+    "Experiment",
+    "QualityGates",
+    "Scorecard",
+    "HoltWinters",
+    "forecast_day",
+    "normalized_errors",
+    "AssignmentTable",
+    "JointAssignmentLp",
+    "JointLpOptions",
+    "JointLpResult",
+    "MonitorThresholds",
+    "RouteMonitor",
+    "OfflinePlan",
+    "PlanEntry",
+    "ReplanEvent",
+    "RollingPlanner",
+    "STAGES",
+    "GranularRollout",
+    "RolloutState",
+    "stage_share",
+    "SplitLpOptions",
+    "SplitLpResult",
+    "SplitRoutingLp",
+    "LocalityFirstPolicy",
+    "TitanNextPolicy",
+    "TitanPolicy",
+    "WrrPolicy",
+    "Scenario",
+    "calibrate_compute_caps",
+    "estimate_pair_traffic_gbps",
+    "BACKOFF",
+    "DISABLED",
+    "EMERGENCY",
+    "HOLDING",
+    "RAMPING",
+    "PairRamp",
+    "SyntheticPathProber",
+    "Titan",
+    "TitanParams",
+    "EUROPE_EVAL_DCS",
+    "EuropeSetup",
+    "PredictionDayResult",
+    "build_europe_setup",
+    "migration_comparison",
+    "oracle_demand_for_day",
+    "predicted_demand_for_day",
+    "run_oracle_day",
+    "run_oracle_week",
+    "run_prediction_day",
+]

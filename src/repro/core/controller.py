@@ -1,0 +1,317 @@
+"""Online controllers: per-call assignment when the first user joins (§6.4, §8.1).
+
+All controllers face the same information constraint: the MP DC and
+routing option must be chosen when the *first* participant joins, before
+the true call config is known.  Five minutes in, the config converges
+and a controller may have to migrate the call to follow its plan —
+inter-DC migrations are the user-visible cost the reduced-call-config
+mechanism (§6.2) exists to cut (Table 4).
+
+Controllers:
+
+* :class:`TitanNextController` — weighted-random draw from the offline
+  precomputed plan using the guessed (intra-country) reduced config,
+  reconciliation with quota accounting at reveal time;
+* :class:`FirstJoinerWrr` — capacity-tracked weighted round robin;
+* :class:`FirstJoinerLf` — latency-sorted buckets, first with capacity;
+* :class:`FirstJoinerTitan` — weighted-random DC by cores, random
+  routing by the pair's Titan fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..net.latency import INTERNET, WAN
+from ..workload.configs import CallConfig
+from ..workload.media import VIDEO
+from ..workload.traces import Call
+from .plan import OfflinePlan
+from .scenario import Scenario
+
+
+@dataclass
+class CallAssignment:
+    """Final placement of one call, including migration history."""
+
+    call: Call
+    initial_dc: str
+    initial_option: str
+    final_dc: str
+    final_option: str
+
+    @property
+    def dc_migrated(self) -> bool:
+        """Inter-DC migration — the damaging kind (§8.4)."""
+        return self.initial_dc != self.final_dc
+
+    @property
+    def option_migrated(self) -> bool:
+        return self.initial_option != self.final_option
+
+
+@dataclass
+class ControllerStats:
+    """Aggregate counters for one simulated horizon."""
+
+    calls: int = 0
+    dc_migrations: int = 0
+    option_migrations: int = 0
+    unplanned: int = 0
+
+    @property
+    def dc_migration_rate(self) -> float:
+        return self.dc_migrations / self.calls if self.calls else 0.0
+
+
+class _CapacityTracker:
+    """Concurrent compute usage per (DC, slot) and Internet Gbps per
+    (country, DC, slot) — what first-joiner baselines check before
+    admitting a call to a bucket."""
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self._compute: Dict[Tuple[str, int], float] = {}
+        self._internet: Dict[Tuple[str, str, int], float] = {}
+
+    def compute_headroom(self, dc: str, slot: int, cores: float) -> bool:
+        used = self._compute.get((dc, slot), 0.0)
+        return used + cores <= self.scenario.compute_caps[dc] + 1e-9
+
+    def internet_headroom(self, config: CallConfig, dc: str, slot: int) -> bool:
+        for country, _ in config.participants:
+            cap = self.scenario.internet_cap_gbps(country, dc)
+            used = self._internet.get((country, dc, slot), 0.0)
+            if used + config.country_bandwidth_gbps(country) > cap + 1e-12:
+                return False
+        return True
+
+    def admit(self, config: CallConfig, dc: str, option: str, call: Call) -> None:
+        cores = config.compute_cores()
+        for slot in range(call.start_slot, call.end_slot):
+            key = (dc, slot)
+            self._compute[key] = self._compute.get(key, 0.0) + cores
+            if option == INTERNET:
+                for country, _ in config.participants:
+                    k = (country, dc, slot)
+                    self._internet[k] = self._internet.get(k, 0.0) + config.country_bandwidth_gbps(country)
+
+
+def _intra_country_guess(country: str, media: str) -> CallConfig:
+    """The controller's working assumption for a brand-new call.
+
+    "For a new call, we assume it as an intra-country call (such calls
+    are in majority)" — the reduced intra-country config has a single
+    participant (§6.2).
+    """
+    return CallConfig(((country, 1),), media)
+
+
+class TitanNextController:
+    """The §6.4 real-time controller over an offline precomputed plan."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        plan: OfflinePlan,
+        seed: int = 53,
+        slots_per_day: int = 48,
+        reduce_configs: bool = True,
+    ) -> None:
+        """``reduce_configs`` selects the planning key: reduced call
+        configs (§6.2, the default) or raw call configs (the Table 4
+        ablation that inflates migrations)."""
+        self.scenario = scenario
+        self.plan = plan
+        self.rng = np.random.default_rng(seed)
+        self.slots_per_day = slots_per_day
+        self.reduce_configs = reduce_configs
+        self.stats = ControllerStats()
+        #: Most recently used planning config per country ("we pick the
+        #: most recently used reduced call config based on the country
+        #: of the first joiner", §6.4).
+        self._recent_config: Dict[str, CallConfig] = {}
+        #: Tentative quota consumption per in-flight call: the guessed
+        #: config whose plan bucket was decremented at assign time.
+        self._pending: Dict[int, Optional[CallConfig]] = {}
+
+    def _plan_key(self, config: CallConfig) -> CallConfig:
+        return config.reduced() if self.reduce_configs else config
+
+    def _plan_slot(self, call: Call) -> int:
+        return call.start_slot % self.slots_per_day
+
+    def _fallback(self, call: Call) -> Tuple[str, str]:
+        """Surge handling: nearest DC with capacity, over the WAN (§6.4)."""
+        country = self.scenario.world.country(call.first_joiner_country)
+        candidates = [self.scenario.world.dc(code) for code in self.scenario.dc_codes]
+        nearest = self.scenario.world.nearest_dc(country.centroid, candidates)
+        return nearest.code, WAN
+
+    def assign(self, call: Call) -> Tuple[str, str]:
+        """Initial assignment from the first joiner's country only.
+
+        The working guess is the most recently used planning config for
+        the first joiner's country (intra-country single-participant
+        video before any call has been seen); if its quotas are
+        exhausted, intra-country configs of the other media types are
+        tried before falling back to nearest-DC-with-capacity (§6.4,
+        "handling surge in calls").
+        """
+        slot = self._plan_slot(call)
+        country = call.first_joiner_country
+        guesses = []
+        if country in self._recent_config:
+            guesses.append(self._recent_config[country])
+        for media in ("video", "audio", "screenshare"):
+            candidate = _intra_country_guess(country, media)
+            if candidate not in guesses:
+                guesses.append(candidate)
+        for guess in guesses:
+            choice = self.plan.sample(slot, guess, self.rng)
+            if choice is not None:
+                dc, option = choice
+                self.plan.consume(slot, guess, dc, option)
+                self._pending[call.call_id] = guess
+                return dc, option
+        self.stats.unplanned += 1
+        self._pending[call.call_id] = None
+        return self._fallback(call)
+
+    def reveal(self, call: Call, initial: Tuple[str, str]) -> CallAssignment:
+        """Reconcile once the true (reduced) config is known (~5 min in).
+
+        The quota consumed at assign time was charged against the
+        *guessed* config.  If the guess was right (the common case:
+        intra-country calls reduce to the guessed single-participant
+        config), accounting is already correct and the call stays put.
+        Otherwise the tentative quota is refunded and the call follows
+        the true config's plan — migrating if that lands elsewhere.
+        """
+        slot = self._plan_slot(call)
+        true_reduced = self._plan_key(call.config)
+        self._recent_config[call.first_joiner_country] = true_reduced
+        initial_dc, initial_option = initial
+        self.stats.calls += 1
+        guess = self._pending.pop(call.call_id, None)
+
+        if guess == true_reduced:
+            # Guessed right: the assign-time consumption was the real one.
+            return CallAssignment(call, initial_dc, initial_option, initial_dc, initial_option)
+        if guess is not None:
+            self.plan.refund(slot, guess, initial_dc, initial_option)
+
+        # The paper's rule: draw the target assignment for the *true*
+        # reduced config from the plan (weighted random over its
+        # remaining quotas); "if [it] is different than the initial
+        # assignment, we migrate the call to the target assignment."
+        choice = self.plan.sample(slot, true_reduced, self.rng)
+        if choice is None:
+            # No plan for this config at all: stay where we are.
+            return CallAssignment(call, initial_dc, initial_option, initial_dc, initial_option)
+        final_dc, final_option = choice
+        self.plan.consume(slot, true_reduced, final_dc, final_option)
+        if final_dc != initial_dc:
+            self.stats.dc_migrations += 1
+        if final_option != initial_option:
+            self.stats.option_migrations += 1
+        return CallAssignment(call, initial_dc, initial_option, final_dc, final_option)
+
+    def process(self, call: Call) -> CallAssignment:
+        """Assign at first join, then reconcile at config reveal."""
+        initial = self.assign(call)
+        return self.reveal(call, initial)
+
+
+class FirstJoinerWrr:
+    """Capacity-tracked WRR over (DC, option) buckets (§8.1(1))."""
+
+    name = "wrr"
+
+    def __init__(self, scenario: Scenario, seed: int = 59) -> None:
+        self.scenario = scenario
+        self.rng = np.random.default_rng(seed)
+        self.tracker = _CapacityTracker(scenario)
+
+    def _weights(self, country: str) -> List[Tuple[Tuple[str, str], float]]:
+        total_cores = sum(self.scenario.compute_caps[dc] for dc in self.scenario.dc_codes)
+        buckets = []
+        for dc in self.scenario.dc_codes:
+            share = self.scenario.compute_caps[dc] / total_cores
+            fraction = self.scenario.internet_fraction(country, dc)
+            if fraction > 0:
+                buckets.append(((dc, INTERNET), share * fraction))
+            buckets.append(((dc, WAN), share * (1.0 - fraction)))
+        return buckets
+
+    def process(self, call: Call) -> CallAssignment:
+        buckets = self._weights(call.first_joiner_country)
+        weights = np.array([w for _, w in buckets])
+        order = self.rng.choice(len(buckets), size=len(buckets), replace=False, p=weights / weights.sum())
+        cores = call.config.compute_cores()
+        for idx in order:
+            (dc, option), _ = buckets[idx]
+            if not self.tracker.compute_headroom(dc, call.start_slot, cores):
+                continue
+            if option == INTERNET and not self.tracker.internet_headroom(call.config, dc, call.start_slot):
+                continue
+            self.tracker.admit(call.config, dc, option, call)
+            return CallAssignment(call, dc, option, dc, option)
+        # Everything full: overflow onto the first bucket's WAN.
+        dc = buckets[0][0][0]
+        self.tracker.admit(call.config, dc, WAN, call)
+        return CallAssignment(call, dc, WAN, dc, WAN)
+
+
+class FirstJoinerLf:
+    """Latency-sorted buckets, first with capacity (§8.1(2))."""
+
+    name = "lf"
+
+    def __init__(self, scenario: Scenario) -> None:
+        self.scenario = scenario
+        self.tracker = _CapacityTracker(scenario)
+
+    def _sorted_buckets(self, country: str) -> List[Tuple[str, str]]:
+        buckets = []
+        for dc in self.scenario.dc_codes:
+            buckets.append(((dc, WAN), self.scenario.one_way_ms(country, dc, WAN)))
+            if self.scenario.internet_fraction(country, dc) > 0:
+                buckets.append(((dc, INTERNET), self.scenario.one_way_ms(country, dc, INTERNET)))
+        buckets.sort(key=lambda kv: kv[1])
+        return [key for key, _ in buckets]
+
+    def process(self, call: Call) -> CallAssignment:
+        cores = call.config.compute_cores()
+        for dc, option in self._sorted_buckets(call.first_joiner_country):
+            if not self.tracker.compute_headroom(dc, call.start_slot, cores):
+                continue
+            if option == INTERNET and not self.tracker.internet_headroom(call.config, dc, call.start_slot):
+                continue
+            self.tracker.admit(call.config, dc, option, call)
+            return CallAssignment(call, dc, option, dc, option)
+        dc = self.scenario.dc_codes[0]
+        self.tracker.admit(call.config, dc, WAN, call)
+        return CallAssignment(call, dc, WAN, dc, WAN)
+
+
+class FirstJoinerTitan:
+    """Weighted-random DC by cores, random routing by fraction (§8.1(3))."""
+
+    name = "titan"
+
+    def __init__(self, scenario: Scenario, seed: int = 61) -> None:
+        self.scenario = scenario
+        self.rng = np.random.default_rng(seed)
+
+    def process(self, call: Call) -> CallAssignment:
+        scenario = self.scenario
+        total_cores = sum(scenario.compute_caps[dc] for dc in scenario.dc_codes)
+        probs = np.array([scenario.compute_caps[dc] / total_cores for dc in scenario.dc_codes])
+        dc = scenario.dc_codes[int(self.rng.choice(len(scenario.dc_codes), p=probs))]
+        fraction = scenario.internet_fraction(call.first_joiner_country, dc)
+        option = INTERNET if self.rng.random() < fraction else WAN
+        return CallAssignment(call, dc, option, dc, option)

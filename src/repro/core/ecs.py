@@ -1,0 +1,226 @@
+"""Experimentation and Configuration System (ECS) — A|B testing.
+
+Titan moves traffic "regardless of the granularity ... [using] an
+Experimentation and Configuration System or ECS that conducts A|B
+experiments on a percentage of the user population and generates
+scorecards to analyze and control the traffic shift" (§4.1(2)).
+
+We implement deterministic hash-based bucketing (each user lands in
+treatment or control stably), per-arm metric accumulation, and a
+scorecard that flags regressions against configurable quality gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.world import stable_hash
+
+
+@dataclass(frozen=True)
+class QualityGates:
+    """Thresholds that define acceptable Internet performance (§4.1(4)).
+
+    * ``moderate``: P50 loss above ``moderate_loss_pct`` *or* latency
+      inflated by more than ``latency_inflation`` triggers a traffic
+      decrement;
+    * ``severe``: P50 loss at or above ``severe_loss_pct`` (rare)
+      triggers the emergency brake — all traffic back on the WAN.
+    """
+
+    moderate_loss_pct: float = 0.1
+    severe_loss_pct: float = 1.0
+    latency_inflation: float = 0.10
+    mos_drop: float = 0.05
+    #: Per-user loss considered "lossy" (the §6.4 failback threshold).
+    user_loss_pct: float = 1.0
+    #: Share of treatment users allowed above ``user_loss_pct`` before a
+    #: moderate / severe regression is declared.
+    lossy_user_fraction_moderate: float = 0.05
+    lossy_user_fraction_severe: float = 0.15
+    #: Absolute latency slack: inflation below this many ms never fires
+    #: the gate (short intra-EU paths jitter by more than 10% naturally).
+    latency_slack_ms: float = 8.0
+
+
+@dataclass
+class ArmMetrics:
+    """Metric accumulator for one experiment arm."""
+
+    latencies_ms: List[float] = field(default_factory=list)
+    losses_pct: List[float] = field(default_factory=list)
+    jitters_ms: List[float] = field(default_factory=list)
+    mos: List[float] = field(default_factory=list)
+
+    def observe(
+        self,
+        latency_ms: float,
+        loss_pct: float,
+        jitter_ms: float = 0.0,
+        mos: Optional[float] = None,
+    ) -> None:
+        if latency_ms < 0 or loss_pct < 0 or jitter_ms < 0:
+            raise ValueError("metrics must be non-negative")
+        self.latencies_ms.append(latency_ms)
+        self.losses_pct.append(loss_pct)
+        self.jitters_ms.append(jitter_ms)
+        if mos is not None:
+            self.mos.append(mos)
+
+    @property
+    def count(self) -> int:
+        return len(self.latencies_ms)
+
+    def p50_latency(self) -> float:
+        return float(np.median(self.latencies_ms)) if self.latencies_ms else 0.0
+
+    def p50_loss(self) -> float:
+        return float(np.median(self.losses_pct)) if self.losses_pct else 0.0
+
+    def lossy_user_fraction(self, threshold_pct: float) -> float:
+        """Share of observations with loss at or above the threshold."""
+        if not self.losses_pct:
+            return 0.0
+        return float(np.mean(np.asarray(self.losses_pct) >= threshold_pct))
+
+    def mean_mos(self) -> Optional[float]:
+        return float(np.mean(self.mos)) if self.mos else None
+
+    def mos_standard_error(self) -> Optional[float]:
+        if len(self.mos) < 2:
+            return None
+        return float(np.std(self.mos, ddof=1) / np.sqrt(len(self.mos)))
+
+
+@dataclass
+class Scorecard:
+    """Treatment-vs-control comparison for one experiment window.
+
+    ``latency_baseline_ms`` is the pair's expected Internet latency
+    (recorded by Titan before the ramp started); the latency-inflation
+    gate compares the treatment arm against it — not against the WAN
+    control arm, since the Internet may be structurally a few ms slower
+    on a pair and still be perfectly healthy.
+    """
+
+    treatment: ArmMetrics
+    control: ArmMetrics
+    gates: QualityGates
+    latency_baseline_ms: Optional[float] = None
+
+    @property
+    def latency_inflation(self) -> float:
+        baseline = self.latency_baseline_ms
+        if baseline is None or baseline <= 0:
+            return 0.0
+        return (self.treatment.p50_latency() - baseline) / baseline
+
+    @property
+    def latency_regressed(self) -> bool:
+        baseline = self.latency_baseline_ms
+        if baseline is None or baseline <= 0:
+            return False
+        excess = self.treatment.p50_latency() - baseline
+        return excess > max(baseline * self.gates.latency_inflation, self.gates.latency_slack_ms)
+
+    @property
+    def severe_regression(self) -> bool:
+        """Emergency-brake condition (§4.1(4b)): P50 loss ≥ 1%, or a
+        large share of users individually above the lossy threshold."""
+        if self.treatment.p50_loss() >= self.gates.severe_loss_pct:
+            return True
+        lossy = self.treatment.lossy_user_fraction(self.gates.user_loss_pct)
+        return lossy >= self.gates.lossy_user_fraction_severe
+
+    @property
+    def moderate_regression(self) -> bool:
+        """Decrement condition (§4.1(4a))."""
+        if self.severe_regression:
+            return True
+        if self.treatment.p50_loss() >= self.gates.moderate_loss_pct:
+            return True
+        lossy = self.treatment.lossy_user_fraction(self.gates.user_loss_pct)
+        if lossy >= self.gates.lossy_user_fraction_moderate:
+            return True
+        if self.latency_regressed:
+            return True
+        if self.mos_regressed:
+            return True
+        return False
+
+    @property
+    def mos_regressed(self) -> bool:
+        """MOS drop gate, guarded against sampling noise.
+
+        MOS is heavily sampled (collected "at the end of a subset of
+        calls"), so the drop must clear both the configured threshold
+        and twice the standard error of the difference before it counts
+        as a regression.
+        """
+        treat_mos, control_mos = self.treatment.mean_mos(), self.control.mean_mos()
+        if treat_mos is None or control_mos is None:
+            return False
+        drop = control_mos - treat_mos
+        se_t = self.treatment.mos_standard_error()
+        se_c = self.control.mos_standard_error()
+        if se_t is None or se_c is None:
+            return False
+        significance = 2.0 * float(np.hypot(se_t, se_c))
+        return drop > max(self.gates.mos_drop, significance)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.moderate_regression
+
+
+class Experiment:
+    """A deterministic A|B experiment over a user population.
+
+    Users are assigned to treatment (Internet routing) with probability
+    ``treatment_fraction`` via a stable hash of (experiment salt, user
+    id) — so a user's arm never flips as metrics accumulate, and raising
+    the fraction only ever *adds* users to treatment (monotone ramp, no
+    churn of existing treatment users).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        treatment_fraction: float,
+        gates: Optional[QualityGates] = None,
+        latency_baseline_ms: Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= treatment_fraction <= 1.0:
+            raise ValueError("treatment_fraction must be in [0, 1]")
+        self.name = name
+        self.treatment_fraction = treatment_fraction
+        self.gates = gates if gates is not None else QualityGates()
+        self.latency_baseline_ms = latency_baseline_ms
+        self.treatment = ArmMetrics()
+        self.control = ArmMetrics()
+
+    def bucket_of(self, user_id: str) -> str:
+        """'treatment' or 'control' for a user — stable across calls."""
+        h = stable_hash(f"{self.name}:{user_id}") / float(0xFFFFFFFF)
+        return "treatment" if h < self.treatment_fraction else "control"
+
+    def in_treatment(self, user_id: str) -> bool:
+        return self.bucket_of(user_id) == "treatment"
+
+    def observe(self, user_id: str, latency_ms: float, loss_pct: float, **kwargs) -> str:
+        """Record one observation into the user's arm; returns the arm."""
+        arm_name = self.bucket_of(user_id)
+        arm = self.treatment if arm_name == "treatment" else self.control
+        arm.observe(latency_ms, loss_pct, **kwargs)
+        return arm_name
+
+    def scorecard(self) -> Scorecard:
+        return Scorecard(self.treatment, self.control, self.gates, self.latency_baseline_ms)
+
+    def reset_metrics(self) -> None:
+        """Start a fresh scorecard window (e.g. after a fraction change)."""
+        self.treatment = ArmMetrics()
+        self.control = ArmMetrics()

@@ -1,0 +1,338 @@
+"""The Titan-Next joint MP-DC + routing LP (Fig 13).
+
+Decision variable ``X[t, c, m, p]`` is the number of calls of reduced
+call config *c* in timeslot *t* assigned to MP DC *m* over routing
+option *p* (WAN or Internet); ``y_l`` is the peak bandwidth of WAN link
+*l*.  The objective minimizes the sum of WAN link peaks — exactly the
+quantity the operator is billed on.
+
+Constraints (paper numbering):
+
+* **C1** every call of every (t, c) is assigned somewhere;
+* **C2** per-DC compute capacity per slot;
+* **C3** Internet path capacity per slot — we enforce it per
+  (client country, DC) pair, matching the per-pair capacities Titan
+  actually records (a strictly tighter, still-linear refinement of the
+  paper's per-DC formulation, available in ``per_dc`` mode too);
+* **C4** the average (over calls) of max-E2E latency is bounded by E;
+* **C5** ``y_l`` dominates every slot's load on link *l*.
+
+The same builder also produces the Locality-First baseline (§7.2): same
+constraint set minus C4, with the objective replaced by total latency
+(or total max-E2E latency for the LF-E2E variant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.latency import INTERNET, ROUTING_OPTIONS, WAN
+from ..solver.model import LinearProgram, LinExpr, Solution
+from ..workload.configs import CallConfig
+from .scenario import Scenario
+
+#: Assignment: (t, config, dc, option) -> number of calls (fractional).
+AssignmentTable = Dict[Tuple[int, CallConfig, str, str], float]
+
+
+@dataclass(frozen=True)
+class JointLpOptions:
+    """Knobs for the LP builder."""
+
+    #: Bound E on the average of max-E2E latency (ms); §7.5 uses 75
+    #: on weekdays and 80 on weekends.
+    e2e_bound_ms: float = 75.0
+    #: Disable Internet routing entirely (the "savings with only MP DC
+    #: placement" ablation of §7.4).
+    allow_internet: bool = True
+    #: Multiplier on Titan's Internet capacities (the "double the
+    #: traffic on the Internet" experiment of §7.4 uses 2.0).
+    internet_capacity_factor: float = 1.0
+    #: Enforce C3 per (country, DC) pair (True) or per DC (False).
+    per_pair_internet_cap: bool = True
+    #: Objective: "sum_of_peaks" (Titan-Next), "total_latency" (LF) or
+    #: "total_e2e" (the LF variant optimizing total max-E2E latency).
+    objective: str = "sum_of_peaks"
+    #: Pin each reduced config to exactly one DC (the abandoned ILP idea
+    #: of §6.3, approximated by restricting each config's columns to its
+    #: latency-best DC).
+    single_dc_per_config: bool = False
+    #: Compute-cap relaxation applied in single-DC mode: pinning every
+    #: config to one DC cannot pack non-aligned per-country peaks into
+    #: capacity provisioned for the pooled peak, so the ablation grants
+    #: extra headroom (and reports the lost network savings).
+    single_dc_cap_relax: float = 1.5
+    #: Tiny locality regularizer added to the sum-of-peaks objective.
+    #: The LP is indifferent about configs with negligible bandwidth
+    #: (audio), so a pure vertex solution scatters them arbitrarily —
+    #: inflating migrations and latency for no peak benefit.  The
+    #: epsilon breaks those ties toward nearby DCs.
+    locality_epsilon: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.e2e_bound_ms <= 0:
+            raise ValueError("e2e_bound_ms must be positive")
+        if self.internet_capacity_factor < 0:
+            raise ValueError("internet_capacity_factor must be non-negative")
+        if self.objective not in ("sum_of_peaks", "total_latency", "total_e2e"):
+            raise ValueError(f"unknown objective: {self.objective}")
+
+
+@dataclass
+class JointLpResult:
+    """Solved assignment plan."""
+
+    status: str
+    objective: Optional[float]
+    assignment: AssignmentTable
+    link_peaks: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def sum_of_peaks(self) -> float:
+        return sum(self.link_peaks.values())
+
+
+class JointAssignmentLp:
+    """Builds and solves the Fig 13 LP for one planning horizon."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        demand: Mapping[Tuple[int, CallConfig], float],
+        options: Optional[JointLpOptions] = None,
+    ) -> None:
+        """``demand`` maps (timeslot, reduced config) to call counts."""
+        self.scenario = scenario
+        self.options = options if options is not None else JointLpOptions()
+        self.demand = {k: v for k, v in demand.items() if v > 0}
+        if not self.demand:
+            raise ValueError("empty demand")
+        self.slots = sorted({t for t, _ in self.demand})
+        self.configs = sorted({c for _, c in self.demand}, key=str)
+
+    # -- column generation --------------------------------------------------
+
+    def _allowed_options(self, config: CallConfig, dc_code: str) -> List[str]:
+        if not self.options.allow_internet:
+            return [WAN]
+        # Pairs with zero Internet capacity never get Internet columns.
+        cap = min(
+            self.scenario.internet_cap_gbps(country, dc_code) for country in config.countries
+        )
+        if cap * self.options.internet_capacity_factor <= 0:
+            return [WAN]
+        return [WAN, INTERNET]
+
+    def _allowed_dcs(self, config: CallConfig) -> List[str]:
+        if not self.options.single_dc_per_config:
+            return self.scenario.dc_codes
+        return [self._pinned_dc(config)]
+
+    def _pinned_dc(self, config: CallConfig) -> str:
+        """Capacity-aware country -> DC pinning (the §6.3 ILP idea).
+
+        Countries are assigned greedily (largest compute need first) to
+        their nearest DC with enough remaining peak capacity; a config
+        follows its first country.  Without capacity awareness the
+        latency-best DC would simply be infeasible.
+        """
+        if not hasattr(self, "_pinning"):
+            scenario = self.scenario
+            # Exact per-slot compute need per pinning group (the first
+            # country of each config), then greedy first-fit by peak.
+            per_slot: Dict[str, Dict[int, float]] = {}
+            for (t, c), count in self.demand.items():
+                country = c.countries[0]
+                per_slot.setdefault(country, {})
+                per_slot[country][t] = per_slot[country].get(t, 0.0) + count * c.compute_cores()
+            peak_need = {country: max(slots.values()) for country, slots in per_slot.items()}
+            remaining = dict(scenario.compute_caps)
+            pinning: Dict[str, str] = {}
+            for country in sorted(peak_need, key=lambda c: -peak_need[c]):
+                ranked = sorted(
+                    scenario.dc_codes,
+                    key=lambda dc: scenario.one_way_ms(country, dc, WAN),
+                )
+                chosen = None
+                for dc in ranked:
+                    if remaining[dc] >= peak_need[country]:
+                        chosen = dc
+                        break
+                if chosen is None:
+                    chosen = max(remaining, key=remaining.get)
+                remaining[chosen] -= peak_need[country]
+                pinning[country] = chosen
+            self._pinning = pinning
+        return self._pinning[config.countries[0]]
+
+    def build(self) -> Tuple[LinearProgram, Dict[Tuple[int, CallConfig, str, str], str]]:
+        """Build the LP; returns it plus the X-variable name table."""
+        scenario = self.scenario
+        opts = self.options
+        lp = LinearProgram("titan-next")
+        var_names: Dict[Tuple[int, CallConfig, str, str], str] = {}
+
+        x_vars: Dict[Tuple[int, CallConfig, str, str], object] = {}
+        for (t, config), count in sorted(self.demand.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))):
+            for dc in self._allowed_dcs(config):
+                for option in self._allowed_options(config, dc):
+                    name = f"x[{t}][{config}][{dc}][{option}]"
+                    x_vars[(t, config, dc, option)] = lp.add_variable(name)
+                    var_names[(t, config, dc, option)] = name
+
+        y_vars = {}
+        if opts.objective == "sum_of_peaks":
+            for link_idx in range(scenario.wan_link_count):
+                y_vars[link_idx] = lp.add_variable(f"y[{link_idx}]")
+
+        # C1 — assign all calls of every (t, c).
+        for (t, config), count in self.demand.items():
+            expr = LinExpr()
+            for dc in self._allowed_dcs(config):
+                for option in self._allowed_options(config, dc):
+                    expr.add_term(x_vars[(t, config, dc, option)])
+            lp.add_constraint(expr == count, name=f"C1[{t}][{config}]")
+
+        # C2 — per-DC compute capacity per slot.
+        for t in self.slots:
+            for dc in scenario.dc_codes:
+                expr = LinExpr()
+                nonzero = False
+                for config in self.configs:
+                    if (t, config) not in self.demand:
+                        continue
+                    if dc not in self._allowed_dcs(config):
+                        continue
+                    cores = config.compute_cores()
+                    for option in self._allowed_options(config, dc):
+                        expr.add_term(x_vars[(t, config, dc, option)], cores)
+                        nonzero = True
+                if nonzero:
+                    cap = scenario.compute_caps[dc]
+                    if opts.single_dc_per_config:
+                        cap *= opts.single_dc_cap_relax
+                    lp.add_constraint(expr <= cap, name=f"C2[{t}][{dc}]")
+
+        # C3 — Internet capacity.
+        if opts.allow_internet:
+            self._add_internet_caps(lp, x_vars)
+
+        # C4 — average max-E2E latency bound (Titan-Next only).
+        if opts.objective == "sum_of_peaks":
+            total_calls = sum(self.demand.values())
+            expr = LinExpr()
+            for (t, config, dc, option), var in x_vars.items():
+                count = self.demand[(t, config)]
+                expr.add_term(var, scenario.e2e_latency_ms(config, dc, option))
+            lp.add_constraint(expr <= opts.e2e_bound_ms * total_calls, name="C4")
+
+        # C5 — link peaks dominate every slot's WAN load.
+        if opts.objective == "sum_of_peaks":
+            for t in self.slots:
+                loads: Dict[int, LinExpr] = {}
+                for config in self.configs:
+                    if (t, config) not in self.demand:
+                        continue
+                    for dc in self._allowed_dcs(config):
+                        if (t, config, dc, WAN) not in x_vars:
+                            continue
+                        var = x_vars[(t, config, dc, WAN)]
+                        for country, _ in config.participants:
+                            bw = config.country_bandwidth_gbps(country)
+                            if bw <= 0:
+                                continue
+                            for link_idx in scenario.link_indices(country, dc):
+                                loads.setdefault(link_idx, LinExpr()).add_term(var, bw)
+                for link_idx, load in loads.items():
+                    load.add_term(y_vars[link_idx], -1.0)
+                    lp.add_constraint(load <= 0, name=f"C5[{t}][{link_idx}]")
+
+        # Objective.
+        objective = LinExpr()
+        if opts.objective == "sum_of_peaks":
+            for var in y_vars.values():
+                objective.add_term(var)
+            if opts.locality_epsilon > 0:
+                for (t, config, dc, option), var in x_vars.items():
+                    objective.add_term(
+                        var, opts.locality_epsilon * scenario.total_latency_ms(config, dc, option)
+                    )
+        elif opts.objective == "total_latency":
+            for (t, config, dc, option), var in x_vars.items():
+                objective.add_term(var, scenario.total_latency_ms(config, dc, option))
+        else:  # total_e2e
+            for (t, config, dc, option), var in x_vars.items():
+                objective.add_term(var, scenario.e2e_latency_ms(config, dc, option))
+        lp.set_objective(objective)
+        return lp, var_names
+
+    def _add_internet_caps(self, lp: LinearProgram, x_vars) -> None:
+        scenario = self.scenario
+        factor = self.options.internet_capacity_factor
+        if self.options.per_pair_internet_cap:
+            for t in self.slots:
+                for country in scenario.country_codes:
+                    for dc in scenario.dc_codes:
+                        cap = scenario.internet_cap_gbps(country, dc) * factor
+                        expr = LinExpr()
+                        nonzero = False
+                        for config in self.configs:
+                            if (t, config) not in self.demand:
+                                continue
+                            bw = config.country_bandwidth_gbps(country)
+                            if bw <= 0:
+                                continue
+                            key = (t, config, dc, INTERNET)
+                            if key in x_vars:
+                                expr.add_term(x_vars[key], bw)
+                                nonzero = True
+                        if nonzero:
+                            lp.add_constraint(expr <= cap, name=f"C3[{t}][{country}][{dc}]")
+        else:
+            for t in self.slots:
+                for dc in scenario.dc_codes:
+                    cap = factor * sum(
+                        scenario.internet_cap_gbps(country, dc)
+                        for country in scenario.country_codes
+                    )
+                    expr = LinExpr()
+                    nonzero = False
+                    for config in self.configs:
+                        if (t, config) not in self.demand:
+                            continue
+                        key = (t, config, dc, INTERNET)
+                        if key in x_vars:
+                            expr.add_term(x_vars[key], config.bandwidth_gbps())
+                            nonzero = True
+                    if nonzero:
+                        lp.add_constraint(expr <= cap, name=f"C3[{t}][{dc}]")
+
+    # -- solve ---------------------------------------------------------------
+
+    def solve(self, method: str = "highs") -> JointLpResult:
+        lp, var_names = self.build()
+        solution = lp.solve(method=method)
+        if not solution.is_optimal:
+            return JointLpResult(status=solution.status, objective=None, assignment={})
+        assignment: AssignmentTable = {}
+        for key, name in var_names.items():
+            value = solution.values.get(name, 0.0)
+            if value > 1e-9:
+                assignment[key] = value
+        link_peaks = {}
+        for link_idx in range(self.scenario.wan_link_count):
+            name = f"y[{link_idx}]"
+            if name in solution.values:
+                link_peaks[link_idx] = solution.values[name]
+        return JointLpResult(
+            status="optimal",
+            objective=solution.objective,
+            assignment=assignment,
+            link_peaks=link_peaks,
+        )

@@ -1,0 +1,96 @@
+"""The offline precomputed assignment plan (§6.1(4)).
+
+The LP's solution is a fractional assignment table; the plan turns it
+into per-(slot, reduced config) quotas over (DC, routing option) pairs.
+The online controller consumes quotas with weighted-random selection
+("we then use all the counts for each assignment ... as weights and use
+weighted random to pick the assignment", §6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..workload.configs import CallConfig
+from .lp import AssignmentTable
+
+
+@dataclass
+class PlanEntry:
+    """Quotas for one (slot, reduced config)."""
+
+    buckets: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+    def weights(self) -> List[Tuple[Tuple[str, str], float]]:
+        return sorted(self.buckets.items())
+
+
+class OfflinePlan:
+    """Precomputed (slot, reduced config) → (DC, option) quota table."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, CallConfig], PlanEntry] = {}
+
+    @classmethod
+    def from_assignment(cls, assignment: AssignmentTable) -> "OfflinePlan":
+        plan = cls()
+        for (t, config, dc, option), count in assignment.items():
+            if count <= 0:
+                continue
+            entry = plan._entries.setdefault((t, config), PlanEntry())
+            key = (dc, option)
+            entry.buckets[key] = entry.buckets.get(key, 0.0) + count
+        return plan
+
+    def entry(self, slot: int, config: CallConfig) -> Optional[PlanEntry]:
+        return self._entries.get((slot, config))
+
+    def configs_for_slot(self, slot: int) -> List[CallConfig]:
+        return [c for (t, c) in self._entries if t == slot]
+
+    def has_plan(self, slot: int, config: CallConfig) -> bool:
+        return (slot, config) in self._entries
+
+    def sample(
+        self, slot: int, config: CallConfig, rng: np.random.Generator
+    ) -> Optional[Tuple[str, str]]:
+        """Weighted-random (DC, option) draw from remaining quotas."""
+        entry = self._entries.get((slot, config))
+        if entry is None:
+            return None
+        buckets = [(key, w) for key, w in entry.weights() if w > 1e-9]
+        if not buckets:
+            return None
+        weights = np.array([w for _, w in buckets])
+        idx = int(rng.choice(len(buckets), p=weights / weights.sum()))
+        return buckets[idx][0]
+
+    def consume(self, slot: int, config: CallConfig, dc: str, option: str, amount: float = 1.0) -> bool:
+        """Decrement a bucket's remaining quota; False if exhausted."""
+        entry = self._entries.get((slot, config))
+        if entry is None:
+            return False
+        key = (dc, option)
+        remaining = entry.buckets.get(key, 0.0)
+        if remaining < amount - 1e-9:
+            return False
+        entry.buckets[key] = remaining - amount
+        return True
+
+    def refund(self, slot: int, config: CallConfig, dc: str, option: str, amount: float = 1.0) -> None:
+        """Return quota to a bucket (undo a tentative :meth:`consume`)."""
+        entry = self._entries.setdefault((slot, config), PlanEntry())
+        key = (dc, option)
+        entry.buckets[key] = entry.buckets.get(key, 0.0) + amount
+
+    def peek(self, slot: int, config: CallConfig, dc: str, option: str) -> float:
+        entry = self._entries.get((slot, config))
+        if entry is None:
+            return 0.0
+        return entry.buckets.get((dc, option), 0.0)

@@ -1,0 +1,118 @@
+"""Rolling re-planning at the paper's 30-minute cadence (§6.3).
+
+"We run the LP every 30 min (with fresh estimates) that calculates the
+assignments for the next 24 hours ... by running every 30 min, it
+adapts the assignments to fresh information about the fraction of
+traffic on Internet calculated by Titan."
+
+:class:`RollingPlanner` simulates that loop: at every slot it re-solves
+the Fig 13 LP for the remaining horizon using the *current* capacity
+book (which Titan may have changed — e.g. an emergency brake zeroing a
+pair mid-day) and splices the fresh plan into the controller's quota
+table for future slots only.  Past slots are never rewritten: calls
+already assigned stay assigned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..workload.configs import CallConfig
+from .capacity import InternetCapacityBook
+from .lp import JointAssignmentLp, JointLpOptions
+from .plan import OfflinePlan
+from .scenario import Scenario
+
+DemandTable = Mapping[Tuple[int, CallConfig], float]
+
+
+@dataclass
+class ReplanEvent:
+    """Record of one re-planning round."""
+
+    slot: int
+    solved: bool
+    sum_of_peaks: Optional[float]
+    columns: int
+
+
+class RollingPlanner:
+    """Re-solves the joint LP every ``cadence`` slots over a day."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        options: Optional[JointLpOptions] = None,
+        cadence: int = 1,
+        slots_per_day: int = 48,
+    ) -> None:
+        if cadence < 1:
+            raise ValueError("cadence must be >= 1 slot")
+        self.scenario = scenario
+        self.options = options if options is not None else JointLpOptions()
+        self.cadence = cadence
+        self.slots_per_day = slots_per_day
+        self.plan = OfflinePlan()
+        self.events: List[ReplanEvent] = []
+
+    def _remaining_demand(self, demand: DemandTable, from_slot: int) -> Dict[Tuple[int, CallConfig], float]:
+        return {(t, c): v for (t, c), v in demand.items() if t >= from_slot and v > 0}
+
+    def replan(self, demand: DemandTable, from_slot: int) -> bool:
+        """Re-solve for slots ≥ ``from_slot`` and splice into the plan.
+
+        Returns False (and keeps the previous plan for those slots) if
+        the LP is infeasible under the fresh capacities — the §6.4 surge
+        path then handles calls the stale plan cannot place.
+        """
+        remaining = self._remaining_demand(demand, from_slot)
+        if not remaining:
+            self.events.append(ReplanEvent(from_slot, True, 0.0, 0))
+            return True
+        lp = JointAssignmentLp(self.scenario, remaining, self.options)
+        result = lp.solve()
+        if not result.is_optimal:
+            self.events.append(ReplanEvent(from_slot, False, None, 0))
+            return False
+        # Splice: replace quotas for future slots only.
+        for (t, config) in list(self.plan._entries):
+            if t >= from_slot:
+                del self.plan._entries[(t, config)]
+        for (t, config, dc, option), count in result.assignment.items():
+            if count <= 0:
+                continue
+            entry = self.plan._entries.setdefault((t, config), None)
+            if entry is None:
+                from .plan import PlanEntry
+
+                entry = PlanEntry()
+                self.plan._entries[(t, config)] = entry
+            key = (dc, option)
+            entry.buckets[key] = entry.buckets.get(key, 0.0) + count
+        self.events.append(
+            ReplanEvent(from_slot, True, result.sum_of_peaks(), len(result.assignment))
+        )
+        return True
+
+    def run_day(
+        self,
+        demand_provider: Callable[[int], DemandTable],
+        capacity_update: Optional[Callable[[int, InternetCapacityBook], None]] = None,
+    ) -> OfflinePlan:
+        """Simulate a day of 30-minute re-planning rounds.
+
+        ``demand_provider(slot)`` returns the freshest demand forecast
+        for the whole day at that slot (the paper refreshes estimates
+        each round); ``capacity_update(slot, book)`` lets the caller
+        mutate the capacity book mid-day, as Titan would.
+        """
+        for slot in range(0, self.slots_per_day, self.cadence):
+            if capacity_update is not None:
+                capacity_update(slot, self.scenario.capacity_book)
+            self.replan(demand_provider(slot), from_slot=slot)
+        return self.plan
+
+    @property
+    def infeasible_rounds(self) -> int:
+        return sum(1 for event in self.events if not event.solved)

@@ -1,0 +1,169 @@
+"""Multi-granularity rollout of Internet offload (§4.1(1)).
+
+"Titan moves traffic to the Internet at various levels of granularity,
+from a small number of users, metro, ASN to the country level.  We
+cautiously start with small communities of Teams users and move [the]
+entire country if the performance is acceptable."
+
+This module models that staged rollout: each (country, DC) pair climbs
+a ladder of scopes — user cohort → metro → ASN → country — and only
+the final stage hands control to the percentage ramp of
+:class:`repro.core.titan.Titan`.  Each stage runs its own A|B
+experiment; a healthy streak promotes, a severe regression demotes all
+the way back to the cohort stage, and repeated failures park the pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.world import World, stable_hash
+from ..net.latency import INTERNET, WAN
+from .ecs import Experiment, QualityGates, Scorecard
+from .titan import SyntheticPathProber
+
+#: Rollout stages in promotion order, with the population share each
+#: stage exposes to the Internet path.
+STAGES: Tuple[Tuple[str, float], ...] = (
+    ("cohort", 0.002),
+    ("metro", 0.02),
+    ("asn", 0.10),
+    ("country", 1.0),
+)
+
+STAGE_NAMES = tuple(name for name, _ in STAGES)
+
+
+def stage_share(stage: str) -> float:
+    """Population share exposed at a stage."""
+    for name, share in STAGES:
+        if name == stage:
+            return share
+    raise ValueError(f"unknown rollout stage: {stage!r}")
+
+
+@dataclass
+class RolloutState:
+    """Rollout progress for one (country, DC) pair."""
+
+    country_code: str
+    dc_code: str
+    stage_index: int = 0
+    healthy_streak: int = 0
+    demotions: int = 0
+    parked: bool = False
+    history: List[str] = field(default_factory=list)
+
+    @property
+    def stage(self) -> str:
+        return STAGE_NAMES[self.stage_index]
+
+    @property
+    def at_country_level(self) -> bool:
+        return self.stage == "country"
+
+    @property
+    def exposed_share(self) -> float:
+        if self.parked:
+            return 0.0
+        return STAGES[self.stage_index][1]
+
+
+class GranularRollout:
+    """Drives the staged rollout for a set of (country, DC) pairs."""
+
+    def __init__(
+        self,
+        world: World,
+        prober: SyntheticPathProber,
+        pairs: Sequence[Tuple[str, str]],
+        gates: Optional[QualityGates] = None,
+        promotions_needed: int = 2,
+        demotions_to_park: int = 3,
+        users_per_eval: int = 120,
+        seed: int = 83,
+    ) -> None:
+        if not pairs:
+            raise ValueError("need at least one pair")
+        if promotions_needed < 1 or demotions_to_park < 1:
+            raise ValueError("thresholds must be >= 1")
+        self.world = world
+        self.prober = prober
+        self.gates = gates if gates is not None else QualityGates()
+        self.promotions_needed = promotions_needed
+        self.demotions_to_park = demotions_to_park
+        self.users_per_eval = users_per_eval
+        self.seed = seed
+        self.states: Dict[Tuple[str, str], RolloutState] = {}
+        for country_code, dc_code in pairs:
+            world.country(country_code)
+            world.dc(dc_code)
+            self.states[(country_code, dc_code)] = RolloutState(country_code, dc_code)
+        self._round = 0
+
+    def _evaluate_stage(self, state: RolloutState, rng: np.random.Generator) -> Scorecard:
+        """One A|B window scoped to the stage's exposed population."""
+        baseline = self.prober.latency.base_rtt_ms(state.country_code, state.dc_code, INTERNET)
+        experiment = Experiment(
+            f"rollout:{state.country_code}:{state.dc_code}:{state.stage}",
+            treatment_fraction=0.5,  # within the exposed scope
+            gates=self.gates,
+            latency_baseline_ms=baseline * 1.05,
+        )
+        slot = self._round * 48
+        for i in range(self.users_per_eval):
+            user = f"user-{i}"
+            option = INTERNET if experiment.in_treatment(user) else WAN
+            latency, loss, jitter = self.prober.user_metrics(
+                state.country_code, state.dc_code, option, 0.01, slot + (i % 24), rng
+            )
+            experiment.observe(user, latency, loss, jitter_ms=jitter)
+        return experiment.scorecard()
+
+    def step(self) -> None:
+        """One evaluation round across all pairs."""
+        for key in sorted(self.states):
+            state = self.states[key]
+            if state.parked or state.at_country_level:
+                state.history.append(state.stage if not state.parked else "parked")
+                continue
+            rng = np.random.default_rng(
+                (self.seed, stable_hash(state.country_code), stable_hash(state.dc_code), self._round)
+            )
+            card = self._evaluate_stage(state, rng)
+            if card.severe_regression:
+                state.stage_index = 0
+                state.healthy_streak = 0
+                state.demotions += 1
+                if state.demotions >= self.demotions_to_park:
+                    state.parked = True
+            elif card.moderate_regression:
+                state.healthy_streak = 0
+                if state.stage_index > 0:
+                    state.stage_index -= 1
+                state.demotions += 1
+                if state.demotions >= self.demotions_to_park:
+                    state.parked = True
+            else:
+                state.healthy_streak += 1
+                if state.healthy_streak >= self.promotions_needed:
+                    state.stage_index = min(state.stage_index + 1, len(STAGES) - 1)
+                    state.healthy_streak = 0
+            state.history.append(state.stage if not state.parked else "parked")
+        self._round += 1
+
+    def run(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        for _ in range(rounds):
+            self.step()
+
+    def ready_for_percentage_ramp(self) -> List[Tuple[str, str]]:
+        """Pairs that reached country level — hand these to Titan."""
+        return [key for key, state in self.states.items() if state.at_country_level and not state.parked]
+
+    def parked_pairs(self) -> List[Tuple[str, str]]:
+        return [key for key, state in self.states.items() if state.parked]

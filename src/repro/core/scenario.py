@@ -1,0 +1,220 @@
+"""Evaluation scenario: the shared context for all assignment policies.
+
+A scenario bundles the client countries, candidate MP DCs, network
+models, Internet capacities (Titan's output), per-DC compute caps, and
+the derived coefficient tables every policy needs:
+
+* ``one_way_ms(country, dc, option)`` — participant-to-MP latency;
+* ``e2e_latency_ms(config, dc, option)`` — max E2E latency of a config
+  (top-two one-way latencies; doubled one-way for intra-country), §5.2;
+* ``wan_links(country, dc)`` — backbone links charged by WAN routing;
+* bandwidth / compute coefficients from the config's media profile.
+
+The paper's evaluation is intra-Europe (§7.3); :func:`europe_scenario`
+builds that default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.world import World, default_world
+from ..net.latency import INTERNET, ROUTING_OPTIONS, WAN, LatencyModel
+from ..net.topology import WanLink, WanTopology
+from ..workload.configs import CallConfig
+from ..workload.demand import SLOTS_PER_DAY, ConfigUniverse, DemandModel
+from .capacity import InternetCapacityBook
+
+
+class Scenario:
+    """Shared evaluation context for WRR / LF / Titan / Titan-Next."""
+
+    def __init__(
+        self,
+        world: World,
+        latency: LatencyModel,
+        country_codes: Sequence[str],
+        dc_codes: Sequence[str],
+        capacity_book: InternetCapacityBook,
+        compute_caps: Optional[Mapping[str, float]] = None,
+        slots_per_day: int = SLOTS_PER_DAY,
+    ) -> None:
+        if not country_codes:
+            raise ValueError("scenario needs client countries")
+        if not dc_codes:
+            raise ValueError("scenario needs MP DCs")
+        self.world = world
+        self.latency = latency
+        self.topology = latency.topology
+        self.country_codes = list(country_codes)
+        self.dc_codes = list(dc_codes)
+        self.capacity_book = capacity_book
+        self.slots_per_day = slots_per_day
+        for code in self.country_codes:
+            world.country(code)
+        for code in self.dc_codes:
+            world.dc(code)
+        if compute_caps is None:
+            compute_caps = {code: float(world.dc(code).compute_cores) for code in dc_codes}
+        self.compute_caps = dict(compute_caps)
+
+        self._one_way: Dict[Tuple[str, str, str], float] = {}
+        self._links: Dict[Tuple[str, str], List[WanLink]] = {}
+        self._link_index: Dict[FrozenSet[str], int] = {}
+        self._all_links: List[WanLink] = []
+        self._build_link_table()
+
+    # -- links -------------------------------------------------------------
+
+    def _build_link_table(self) -> None:
+        for country in self.country_codes:
+            for dc in self.dc_codes:
+                links = self.topology.wan_path(country, dc)
+                self._links[(country, dc)] = links
+                for link in links:
+                    if link.key not in self._link_index:
+                        self._link_index[link.key] = len(self._all_links)
+                        self._all_links.append(link)
+
+    @property
+    def wan_link_count(self) -> int:
+        return len(self._all_links)
+
+    @property
+    def wan_links(self) -> List[WanLink]:
+        return list(self._all_links)
+
+    def link_indices(self, country_code: str, dc_code: str) -> List[int]:
+        """Indices (into ``wan_links``) charged by WAN routing of a pair."""
+        return [self._link_index[l.key] for l in self._links[(country_code, dc_code)]]
+
+    # -- latency -------------------------------------------------------------
+
+    def one_way_ms(self, country_code: str, dc_code: str, option: str) -> float:
+        key = (country_code, dc_code, option)
+        if key not in self._one_way:
+            self._one_way[key] = self.latency.one_way_ms(country_code, dc_code, option)
+        return self._one_way[key]
+
+    def e2e_latency_ms(self, config: CallConfig, dc_code: str, option: str) -> float:
+        """Max end-to-end latency of a config at (DC, option) — §5.2.
+
+        E2E between two participants is the sum of their one-way
+        latencies to the MP (Fig 10); the maximum over pairs is the sum
+        of the two largest one-ways.  A single-country (reduced) config
+        represents a conversation between users of that country, so its
+        max E2E is twice the country's one-way latency.
+        """
+        one_ways: List[float] = []
+        for country, count in config.participants:
+            latency = self.one_way_ms(country, dc_code, option)
+            one_ways.extend([latency] * min(count, 2))
+        if len(one_ways) == 1:
+            return 2.0 * one_ways[0]
+        one_ways.sort(reverse=True)
+        return one_ways[0] + one_ways[1]
+
+    def total_latency_ms(self, config: CallConfig, dc_code: str, option: str) -> float:
+        """Sum of participant one-way latencies (the LF objective)."""
+        return sum(
+            self.one_way_ms(country, dc_code, option) * count
+            for country, count in config.participants
+        )
+
+    # -- capacities -----------------------------------------------------------
+
+    def internet_fraction(self, country_code: str, dc_code: str) -> float:
+        return self.capacity_book.fraction(country_code, dc_code)
+
+    def internet_cap_gbps(self, country_code: str, dc_code: str) -> float:
+        return self.capacity_book.gbps(country_code, dc_code)
+
+    def config_internet_fraction(self, config: CallConfig, dc_code: str) -> float:
+        """Internet fraction for a config: the minimum across its
+        countries ("we pick the minimum fraction of calls from its
+        countries", §7.2)."""
+        return min(self.internet_fraction(c, dc_code) for c in config.countries)
+
+    def with_capacity_book(self, book: InternetCapacityBook) -> "Scenario":
+        """A copy of this scenario with a different capacity table."""
+        return Scenario(
+            self.world,
+            self.latency,
+            self.country_codes,
+            self.dc_codes,
+            book,
+            compute_caps=self.compute_caps,
+            slots_per_day=self.slots_per_day,
+        )
+
+
+def calibrate_compute_caps(
+    world: World,
+    dc_codes: Sequence[str],
+    demand: DemandModel,
+    headroom: float = 1.25,
+    top_n_configs: Optional[int] = None,
+) -> Dict[str, float]:
+    """Per-DC compute caps sized to the scenario's demand.
+
+    The raw catalog capacities (tens of thousands of cores) would never
+    bind for a scaled-down synthetic workload, which would make the LP's
+    C2 constraint vacuous.  We size total capacity to ``headroom`` times
+    the peak slot's compute requirement, split across DCs in proportion
+    to their catalog sizes — mirroring how Teams provisions MPs against
+    anticipated demand (§2.2a).
+    """
+    if headroom <= 1.0:
+        raise ValueError("headroom must exceed 1.0")
+    items = demand.universe.top(top_n_configs) if top_n_configs else demand.universe.demands
+    # Scan a full week so the busiest weekday sets the provisioning bar;
+    # headroom then only has to absorb stochastic demand shocks.
+    peak_need = 0.0
+    for slot in range(7 * SLOTS_PER_DAY):
+        need = sum(
+            demand.expected_count(item.config, slot) * item.config.compute_cores()
+            for item in items
+        )
+        peak_need = max(peak_need, need)
+    total_catalog = sum(world.dc(code).compute_cores for code in dc_codes)
+    caps = {}
+    for code in dc_codes:
+        share = world.dc(code).compute_cores / total_catalog
+        caps[code] = peak_need * headroom * share
+    return caps
+
+
+def estimate_pair_traffic_gbps(
+    demand: DemandModel,
+    country_codes: Sequence[str],
+    dc_codes: Sequence[str],
+    top_n_configs: Optional[int] = None,
+) -> Dict[Tuple[str, str], float]:
+    """Typical per-(country, DC) traffic at the daily peak slot.
+
+    Titan converts its per-pair offload *fractions* into Gbps capacity
+    estimates by multiplying with the pair's typical traffic; this
+    helper provides that estimate, assuming traffic splits evenly
+    across candidate DCs.
+    """
+    demands = demand.universe.top(top_n_configs) if top_n_configs else demand.universe.demands
+    peak: Dict[str, float] = {c: 0.0 for c in country_codes}
+    for slot in range(SLOTS_PER_DAY):
+        current: Dict[str, float] = {c: 0.0 for c in country_codes}
+        for item in demands:
+            count = demand.expected_count(item.config, slot)
+            if count <= 0:
+                continue
+            for country, _ in item.config.participants:
+                if country in current:
+                    current[country] += count * item.config.country_bandwidth_gbps(country)
+        for country in country_codes:
+            peak[country] = max(peak[country], current[country])
+    return {
+        (country, dc): peak[country] / len(dc_codes)
+        for country in country_codes
+        for dc in dc_codes
+    }

@@ -1,0 +1,6 @@
+"""Per-table/figure experiment harnesses and their registry."""
+
+from .base import ExperimentResult
+from .registry import EXPERIMENTS, experiment_ids, run_all, run_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "experiment_ids", "run_all", "run_experiment"]

@@ -1,0 +1,81 @@
+"""Experiment result container and rendering helpers.
+
+Every table and figure in the paper maps to one experiment function
+returning an :class:`ExperimentResult`: a set of named series/rows, the
+paper's reported values for the same quantity, and a rendered text
+block that the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of regenerating one paper artifact."""
+
+    experiment_id: str
+    title: str
+    #: Measured values: {row label: value or {col: value}}.
+    measured: Dict[str, Any] = field(default_factory=dict)
+    #: What the paper reports for the same quantity (for side-by-side).
+    paper: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable block: measured vs paper."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        keys = list(self.measured)
+        for key in keys:
+            measured = _fmt(self.measured[key])
+            line = f"  {key:<40s} measured={measured}"
+            if key in self.paper:
+                line += f"  paper={_fmt(self.paper[key])}"
+            lines.append(line)
+        for key, value in self.paper.items():
+            if key not in self.measured:
+                lines.append(f"  {key:<40s} paper={_fmt(value)}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (for machine consumption)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "measured": self.measured,
+            "paper": self.paper,
+            "notes": self.notes,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to JSON (used by ``python -m repro run --json``)."""
+        return json.dumps(self.to_dict(), indent=indent, default=_jsonable)
+
+
+def _jsonable(value: Any):
+    """Fallback encoder for numpy scalars and other simple objects."""
+    import numpy as np
+
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return str(value)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, dict):
+        inner = ", ".join(f"{k}={_fmt(v)}" for k, v in value.items())
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_fmt(v) for v in value) + "]"
+    return str(value)

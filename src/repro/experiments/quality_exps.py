@@ -1,0 +1,185 @@
+"""Experiments regenerating the §4.2 production-quality artifacts.
+
+Figures 6, 7, 8, 11, 16, 17.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..geo.world import World, default_world
+from ..net.elasticity import ElasticityModel
+from ..net.latency import INTERNET, WAN, LatencyModel
+from ..net.loss import SLOTS_PER_WEEK, LossModel
+from ..telemetry.mos import MosModel
+from .base import ExperimentResult
+
+#: The three European DCs of Fig 6.
+FIG6_DCS = ("ireland", "westeurope", "france-central")
+
+
+def run_fig6(hours: int = 168) -> ExperimentResult:
+    """Fig 6 — packet-loss CDFs for Internet and WAN (3 EU DCs)."""
+    world = default_world()
+    loss = LossModel(world)
+    eu = [c.code for c in world.europe_countries]
+    measured: Dict[str, object] = {}
+    for option in (WAN, INTERNET):
+        values = np.array(
+            [
+                loss.hourly_loss_pct(country, dc, option, hour)
+                for country in eu
+                for dc in FIG6_DCS
+                for hour in range(0, hours, 3)
+            ]
+        )
+        measured[f"{option}_share_below_0.01pct"] = float(np.mean(values <= 0.01))
+        measured[f"{option}_share_at_least_0.1pct"] = float(np.mean(values >= 0.1))
+        measured[f"{option}_p99_loss_pct"] = float(np.percentile(values, 99))
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Loss CDFs, WAN vs Internet, Europe",
+        measured=measured,
+        paper={
+            "internet_share_below_0.01pct": 0.449,
+            "wan_share_below_0.01pct": 0.492,
+            "internet_share_at_least_0.1pct": "~0.10",
+            "wan_share_at_least_0.1pct": "~0 (almost non-existent)",
+        },
+    )
+
+
+def run_fig7(days: int = 7) -> ExperimentResult:
+    """Fig 7 — loss time series, France clients → Netherlands DC."""
+    world = default_world()
+    loss = LossModel(world)
+    hours = days * 24
+    internet = np.array([loss.hourly_loss_pct("FR", "westeurope", INTERNET, h) for h in range(hours)])
+    wan = np.array([loss.hourly_loss_pct("FR", "westeurope", WAN, h) for h in range(hours)])
+    spike_threshold = 0.02
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Loss time series France → Netherlands DC",
+        measured={
+            "internet_peak_loss_pct": float(internet.max()),
+            "wan_peak_loss_pct": float(wan.max()),
+            "internet_spike_hours": int(np.sum(internet >= spike_threshold)),
+            "wan_spike_hours": int(np.sum(wan >= spike_threshold)),
+            "peak_ratio_internet_over_wan": float(internet.max() / max(wan.max(), 1e-9)),
+        },
+        paper={
+            "wan_peak_loss_pct": 0.02,
+            "peak_ratio_internet_over_wan": "up to 3x, more frequent spikes",
+        },
+    )
+
+
+def run_fig8(fractions: Optional[List[float]] = None) -> ExperimentResult:
+    """Fig 8 — loss/RTT vs fraction of traffic on the Internet (UK→NL)."""
+    world = default_world()
+    latency = LatencyModel(world)
+    elasticity = ElasticityModel(world)
+    loss = LossModel(world)
+    if fractions is None:
+        fractions = [0.01, 0.05, 0.10, 0.15, 0.20]
+    base_rtt = latency.base_rtt_ms("GB", "westeurope", INTERNET)
+    base_loss = float(
+        np.median([loss.slot_loss_pct("GB", "westeurope", INTERNET, s) for s in range(200)])
+    )
+    series = {}
+    for fraction in fractions:
+        rtt = base_rtt + elasticity.rtt_inflation_ms("GB", "westeurope", fraction)
+        lo = base_loss + elasticity.loss_inflation_pct("GB", "westeurope", fraction)
+        series[f"{int(fraction * 100)}%"] = {"rtt_ms": round(rtt, 1), "loss_pct": round(lo, 4)}
+    rtt_drift = series[f"{int(fractions[-1]*100)}%"]["rtt_ms"] - series[f"{int(fractions[0]*100)}%"]["rtt_ms"]
+    loss_drift = series[f"{int(fractions[-1]*100)}%"]["loss_pct"] - series[f"{int(fractions[0]*100)}%"]["loss_pct"]
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Elasticity: loss/RTT vs offload fraction (UK → NL)",
+        measured={"series": series, "rtt_drift_ms": rtt_drift, "loss_drift_pct": loss_drift},
+        paper={"finding": "no systematic inflation up to 20%"},
+    )
+
+
+def run_fig11(samples_per_bucket: int = 400) -> ExperimentResult:
+    """Fig 11 — average MOS vs max E2E latency (50–250 ms buckets)."""
+    mos = MosModel()
+    rng = np.random.default_rng(101)
+    curve = {}
+    for latency in range(50, 251, 25):
+        curve[f"{latency}ms"] = round(mos.average_rating(float(latency), samples=samples_per_bucket, rng=rng), 3)
+    knee_drop = curve["75ms"] - curve["50ms"]
+    tail_drop = curve["250ms"] - curve["75ms"]
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="MOS vs max end-to-end latency",
+        measured={"curve": curve, "drop_below_knee": round(knee_drop, 3), "drop_beyond_knee": round(tail_drop, 3)},
+        paper={
+            "flat_until_ms": 75,
+            "decay": "mostly linear, ~4.85 at 75ms to ~4.65 at 250ms",
+        },
+    )
+
+
+def run_fig16(slots: int = SLOTS_PER_WEEK) -> ExperimentResult:
+    """Fig 16 — CDF of sustained loss spikes across EU pairs."""
+    world = default_world()
+    loss = LossModel(world)
+    eu = [c.code for c in world.europe_countries]
+    measured = {}
+    for threshold, label in ((0.1, "0.1pct"), (1.0, "1pct")):
+        internet = [
+            loss.sustained_spike_fraction(c, dc, INTERNET, threshold, slots=slots)
+            for c in eu
+            for dc in FIG6_DCS
+        ]
+        wan = [
+            loss.sustained_spike_fraction(c, dc, WAN, threshold, slots=slots)
+            for c in eu
+            for dc in FIG6_DCS
+        ]
+        measured[f"internet_median_slot_share_ge_{label}"] = float(np.median(internet))
+        measured[f"internet_p90_slot_share_ge_{label}"] = float(np.percentile(internet, 90))
+        measured[f"wan_max_slot_share_ge_{label}"] = float(np.max(wan))
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="Sustained loss spikes, Internet vs WAN",
+        measured=measured,
+        paper={
+            "internet_median_slot_share_ge_0.1pct": "~0.02 (50% of pairs ≥2% of slots)",
+            "wan_max_slot_share_ge_0.1pct": "≤0.02 at P100",
+        },
+    )
+
+
+def run_fig17() -> ExperimentResult:
+    """Fig 17 — latency/loss drift across the 1%→20% ramp, EU pairs."""
+    world = default_world()
+    elasticity = ElasticityModel(world)
+    eu = [c.code for c in world.europe_countries]
+    rtt_deltas, loss_deltas = [], []
+    for country in eu:
+        for dc in FIG6_DCS:
+            rtt, lo = elasticity.measured_drift(country, dc)
+            rtt += elasticity.rtt_inflation_ms(country, dc, 0.20) - elasticity.rtt_inflation_ms(country, dc, 0.01)
+            lo += elasticity.loss_inflation_pct(country, dc, 0.20) - elasticity.loss_inflation_pct(country, dc, 0.01)
+            rtt_deltas.append(rtt)
+            loss_deltas.append(lo)
+    return ExperimentResult(
+        experiment_id="fig17",
+        title="Elasticity CDFs across EU pairs (1% → 20%)",
+        measured={
+            "median_rtt_delta_ms": float(np.median(rtt_deltas)),
+            "p90_rtt_delta_ms": float(np.percentile(rtt_deltas, 90)),
+            "median_loss_delta_pct": float(np.median(loss_deltas)),
+            "p90_loss_delta_pct": float(np.percentile(loss_deltas, 90)),
+        },
+        paper={
+            "median_rtt_delta_ms": 3.0,
+            "p90_rtt_delta_ms": "<20",
+            "median_loss_delta_pct": 0.06,
+            "p90_loss_delta_pct": "<0.01 extra",
+        },
+    )

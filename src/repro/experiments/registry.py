@@ -1,0 +1,72 @@
+"""Experiment registry: every paper table/figure → a callable.
+
+``run_experiment(id)`` regenerates one artifact;
+``run_all()`` regenerates everything (slow).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import ExperimentResult
+from .eval_exps import (
+    run_ablation_double_internet,
+    run_ablation_fiber_cut,
+    run_ablation_split_routing,
+    run_ablation_lf_e2e,
+    run_ablation_mp_only,
+    run_ablation_single_dc,
+    run_fig14,
+    run_fig15,
+    run_fig20,
+    run_tab3,
+    run_tab4,
+)
+from .measurement_exps import run_fig3, run_fig4, run_fig5, run_fig18, run_fig19, run_tab1
+from .quality_exps import run_fig6, run_fig7, run_fig8, run_fig11, run_fig16, run_fig17
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "tab1": run_tab1,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig11": run_fig11,
+    "fig14": run_fig14,
+    "tab3": run_tab3,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "fig18": run_fig18,
+    "fig19": run_fig19,
+    "fig20": run_fig20,
+    "tab4": run_tab4,
+    "abl-mponly": run_ablation_mp_only,
+    "abl-2x": run_ablation_double_internet,
+    "abl-e2e": run_ablation_lf_e2e,
+    "abl-ilp": run_ablation_single_dc,
+    "abl-split": run_ablation_split_routing,
+    "abl-fibercut": run_ablation_fiber_cut,
+}
+
+
+def experiment_ids() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Regenerate one paper artifact by id (e.g. ``"fig14"``)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)
+
+
+def run_all(**kwargs) -> Dict[str, ExperimentResult]:
+    """Regenerate every artifact (slow; benches run these one by one)."""
+    return {experiment_id: run_experiment(experiment_id) for experiment_id in EXPERIMENTS}

@@ -1,0 +1,47 @@
+"""Geography substrate: coordinates, countries, cities, ASNs, and DCs."""
+
+from .coords import (
+    EARTH_RADIUS_KM,
+    FIBER_SPEED_KM_PER_MS,
+    GeoPoint,
+    fiber_rtt_ms,
+    haversine_km,
+    midpoint,
+)
+from .world import (
+    ALL_COUNTRIES,
+    ALL_DCS,
+    CONTINENTS,
+    EUROPE_DC_CODES,
+    FIG4_COUNTRIES,
+    FIG4_DC_CODES,
+    Asn,
+    City,
+    Country,
+    DataCenter,
+    World,
+    default_world,
+    stable_hash,
+)
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "FIBER_SPEED_KM_PER_MS",
+    "GeoPoint",
+    "fiber_rtt_ms",
+    "haversine_km",
+    "midpoint",
+    "ALL_COUNTRIES",
+    "ALL_DCS",
+    "CONTINENTS",
+    "EUROPE_DC_CODES",
+    "FIG4_COUNTRIES",
+    "FIG4_DC_CODES",
+    "Asn",
+    "City",
+    "Country",
+    "DataCenter",
+    "World",
+    "default_world",
+    "stable_hash",
+]

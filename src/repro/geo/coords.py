@@ -1,0 +1,74 @@
+"""Great-circle geometry primitives.
+
+The latency models in :mod:`repro.net` are anchored on physical distance:
+light in fiber covers roughly two thirds of its vacuum speed, so the
+propagation floor between two points is a function of their great-circle
+distance.  This module provides the coordinate type and the distance /
+propagation-delay helpers used throughout the package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EARTH_RADIUS_KM = 6371.0
+
+#: Speed of light in vacuum, km per millisecond.
+LIGHT_SPEED_KM_PER_MS = 299.792458
+
+#: Effective speed of light in optical fiber (refractive index ~1.468).
+FIBER_SPEED_KM_PER_MS = LIGHT_SPEED_KM_PER_MS / 1.468
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A point on the Earth's surface, in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def fiber_rtt_ms(a: GeoPoint, b: GeoPoint, stretch: float = 1.0) -> float:
+    """Round-trip propagation delay over fiber between two points.
+
+    ``stretch`` expresses path inflation relative to the great-circle
+    route (cable detours, routing inefficiency); 1.0 is the physical
+    floor.
+    """
+    if stretch < 1.0:
+        raise ValueError(f"stretch must be >= 1.0, got {stretch}")
+    distance = haversine_km(a, b)
+    one_way_ms = distance * stretch / FIBER_SPEED_KM_PER_MS
+    return 2.0 * one_way_ms
+
+
+def midpoint(a: GeoPoint, b: GeoPoint) -> GeoPoint:
+    """Geographic midpoint of two points (spherical interpolation)."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    bx = math.cos(lat2) * math.cos(lon2 - lon1)
+    by = math.cos(lat2) * math.sin(lon2 - lon1)
+    lat3 = math.atan2(
+        math.sin(lat1) + math.sin(lat2),
+        math.sqrt((math.cos(lat1) + bx) ** 2 + by**2),
+    )
+    lon3 = lon1 + math.atan2(by, math.cos(lat1) + bx)
+    lon3 = (lon3 + 3 * math.pi) % (2 * math.pi) - math.pi
+    return GeoPoint(math.degrees(lat3), math.degrees(lon3))

@@ -1,0 +1,349 @@
+"""World catalog: countries, cities, ASNs, and the 21 Azure data centers.
+
+The paper's measurement study spans 244 source countries, 241K cities and
+21 Azure DCs (Table 1, Fig 2).  We model a representative subset: the 22
+client countries shown in Fig 4 (top 20 by call volume plus two in
+Africa), a further tranche of European countries used in the Titan /
+Titan-Next evaluation (which is restricted to intra-Europe calls, §7.3),
+and the 21 destination DCs whose locations we place at real Azure region
+sites.
+
+Cities and ASNs per country are generated synthetically (seeded) around
+the country centroid so that the granularity analysis of Fig 5 has
+sub-country structure to chew on.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .coords import GeoPoint
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic 32-bit hash of a string (process-independent).
+
+    Python's built-in ``hash`` on ``str`` is salted per process; seeding
+    RNGs with it would make the synthetic world differ between runs.
+    """
+    return zlib.crc32(text.encode("utf-8"))
+
+Continent = str
+
+CONTINENTS: Tuple[Continent, ...] = (
+    "north-america",
+    "south-america",
+    "europe",
+    "asia",
+    "africa",
+    "oceania",
+)
+
+
+@dataclass(frozen=True)
+class Country:
+    """A client country.
+
+    ``call_volume_weight`` is the country's relative share of global call
+    volume (arbitrary units, used to weight synthetic trace generation).
+    ``internet_quality`` in [0, 1] models how well the country's transit
+    ecosystem performs relative to its geography; countries the paper
+    singles out as having unacceptable Internet loss (e.g. Germany,
+    Austria in §4.2(5)) carry low values.
+    """
+
+    code: str
+    name: str
+    continent: Continent
+    centroid: GeoPoint
+    call_volume_weight: float = 1.0
+    internet_quality: float = 0.8
+    #: Loss-specific quality of the country's transit ecosystem.  The
+    #: paper found some countries (Germany, Austria, §4.2(5)) have
+    #: unacceptable Internet *loss* despite reasonable latency, so the
+    #: loss model keys off this instead of ``internet_quality``.
+    internet_loss_quality: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.continent not in CONTINENTS:
+            raise ValueError(f"unknown continent: {self.continent}")
+        if not 0.0 <= self.internet_quality <= 1.0:
+            raise ValueError("internet_quality must be in [0, 1]")
+        if self.internet_loss_quality is not None and not 0.0 <= self.internet_loss_quality <= 1.0:
+            raise ValueError("internet_loss_quality must be in [0, 1]")
+        if self.call_volume_weight < 0:
+            raise ValueError("call_volume_weight must be non-negative")
+
+    @property
+    def loss_quality(self) -> float:
+        """Loss quality, defaulting to the latency quality if unset."""
+        if self.internet_loss_quality is None:
+            return self.internet_quality
+        return self.internet_loss_quality
+
+
+@dataclass(frozen=True)
+class City:
+    """A population center inside a country."""
+
+    name: str
+    country_code: str
+    location: GeoPoint
+    population_weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class Asn:
+    """An autonomous system serving clients in one country.
+
+    ``quality_offset`` perturbs the country-level Internet quality so that
+    different ASNs in the same country see slightly different paths —
+    the effect quantified by Fig 5.
+    """
+
+    number: int
+    country_code: str
+    share: float
+    quality_offset: float = 0.0
+
+
+@dataclass(frozen=True)
+class DataCenter:
+    """An Azure DC hosting MP servers and measurement VMs."""
+
+    code: str
+    name: str
+    country_code: str
+    continent: Continent
+    location: GeoPoint
+    #: MP compute capacity in cores (used by the LP constraint C2).
+    compute_cores: int = 50_000
+    #: Transit ISPs peering at this DC (used by Titan failover logic).
+    transit_isps: Tuple[str, ...] = ()
+
+
+def _c(code, name, continent, lat, lon, weight=1.0, quality=0.8, loss_quality=None) -> Country:
+    return Country(code, name, continent, GeoPoint(lat, lon), weight, quality, loss_quality)
+
+
+#: The 22 client countries of Fig 4 (top 20 by call volume + Egypt,
+#: Nigeria), with rough call-volume weights and Internet-quality priors.
+FIG4_COUNTRIES: Tuple[Country, ...] = (
+    _c("MX", "Mexico", "north-america", 23.6, -102.5, 2.0, 0.70),
+    _c("US", "United States", "north-america", 39.8, -98.6, 10.0, 0.90),
+    _c("CA", "Canada", "north-america", 56.1, -106.3, 3.0, 0.88),
+    _c("BR", "Brazil", "south-america", -14.2, -51.9, 2.5, 0.65),
+    _c("CO", "Colombia", "south-america", 4.6, -74.1, 1.0, 0.62),
+    _c("ZA", "South Africa", "africa", -30.6, 22.9, 1.2, 0.60),
+    _c("EG", "Egypt", "africa", 26.8, 30.8, 0.8, 0.55),
+    _c("NG", "Nigeria", "africa", 9.1, 8.7, 0.8, 0.50),
+    _c("IN", "India", "asia", 20.6, 79.0, 6.0, 0.60),
+    _c("JP", "Japan", "asia", 36.2, 138.3, 3.0, 0.85),
+    _c("PH", "Philippines", "asia", 12.9, 121.8, 1.5, 0.55),
+    _c("SG", "Singapore", "asia", 1.35, 103.8, 1.2, 0.88),
+    _c("AU", "Australia", "oceania", -25.3, 133.8, 2.0, 0.85),
+    _c("GB", "United Kingdom", "europe", 54.0, -2.0, 5.0, 0.92),
+    _c("DE", "Germany", "europe", 51.2, 10.4, 4.5, 0.85, 0.30),
+    _c("FR", "France", "europe", 46.2, 2.2, 4.0, 0.90),
+    _c("NL", "Netherlands", "europe", 52.1, 5.3, 2.0, 0.93),
+    _c("IT", "Italy", "europe", 41.9, 12.6, 2.5, 0.78),
+    _c("ES", "Spain", "europe", 40.5, -3.7, 2.2, 0.80),
+    _c("SE", "Sweden", "europe", 60.1, 18.6, 1.2, 0.90),
+    _c("PL", "Poland", "europe", 51.9, 19.1, 1.5, 0.75),
+    _c("CH", "Switzerland", "europe", 46.8, 8.2, 1.0, 0.88),
+)
+
+#: Additional European countries used by the Titan-Next evaluation
+#: (intra-Europe calls, §7.3) and by Titan production anecdotes.
+EXTRA_EU_COUNTRIES: Tuple[Country, ...] = (
+    _c("IE", "Ireland", "europe", 53.4, -8.2, 0.8, 0.90),
+    _c("AT", "Austria", "europe", 47.5, 14.6, 0.9, 0.80, 0.28),
+    _c("BE", "Belgium", "europe", 50.5, 4.5, 0.9, 0.88),
+    _c("PT", "Portugal", "europe", 39.4, -8.2, 0.8, 0.78),
+    _c("DK", "Denmark", "europe", 56.3, 9.5, 0.7, 0.90),
+    _c("NO", "Norway", "europe", 60.5, 8.5, 0.7, 0.88),
+    _c("FI", "Finland", "europe", 61.9, 25.7, 0.6, 0.88),
+    _c("CZ", "Czechia", "europe", 49.8, 15.5, 0.8, 0.72),
+    _c("HU", "Hungary", "europe", 47.2, 19.5, 0.7, 0.70),
+    _c("GR", "Greece", "europe", 39.1, 21.8, 0.6, 0.65),
+    _c("RO", "Romania", "europe", 45.9, 25.0, 0.7, 0.68),
+)
+
+ALL_COUNTRIES: Tuple[Country, ...] = FIG4_COUNTRIES + EXTRA_EU_COUNTRIES
+
+
+def _dc(code, name, cc, continent, lat, lon, cores=50_000, isps=("ntt", "telia", "cogent")):
+    return DataCenter(code, name, cc, continent, GeoPoint(lat, lon), cores, tuple(isps))
+
+
+#: The 21 Azure DCs of Fig 2.  The six representative DCs used for the
+#: Fig 4 heatmap (orange triangles) are: australia-east, canada-central,
+#: hongkong, netherlands (westeurope), south-africa-north, us-central.
+ALL_DCS: Tuple[DataCenter, ...] = (
+    _dc("ca-central", "Canada Central (Toronto)", "CA", "north-america", 43.65, -79.38, 60_000),
+    _dc("us-east", "US East (Virginia)", "US", "north-america", 37.37, -79.82, 120_000),
+    _dc("us-east2", "US East 2 (Virginia)", "US", "north-america", 36.67, -78.39, 90_000),
+    _dc("us-central", "US Central (Iowa)", "US", "north-america", 41.59, -93.62, 100_000),
+    _dc("us-southcentral", "US South Central (Texas)", "US", "north-america", 29.42, -98.49, 80_000),
+    _dc("us-west", "US West (California)", "US", "north-america", 37.78, -122.42, 90_000),
+    _dc("us-west2", "US West 2 (Washington)", "US", "north-america", 47.23, -119.85, 80_000),
+    _dc("us-northcentral", "US North Central (Illinois)", "US", "north-america", 41.88, -87.63, 70_000),
+    _dc("brazil-south", "Brazil South (Sao Paulo)", "BR", "south-america", -23.55, -46.63, 40_000),
+    _dc("uk-south", "UK South (London)", "GB", "europe", 51.51, -0.13, 80_000),
+    _dc("france-central", "France Central (Paris)", "FR", "europe", 48.86, 2.35, 70_000),
+    _dc("westeurope", "West Europe (Netherlands)", "NL", "europe", 52.37, 4.90, 100_000),
+    _dc("switzerland-north", "Switzerland North (Zurich)", "CH", "europe", 47.38, 8.54, 40_000),
+    _dc("ireland", "North Europe (Ireland)", "IE", "europe", 53.35, -6.26, 70_000),
+    _dc("southafrica-north", "South Africa North (Johannesburg)", "ZA", "africa", -26.20, 28.05, 30_000),
+    _dc("india-central", "Central India (Pune)", "IN", "asia", 18.52, 73.86, 60_000),
+    _dc("japan-east", "Japan East (Tokyo)", "JP", "asia", 35.68, 139.65, 60_000),
+    _dc("hongkong", "East Asia (Hong Kong)", "HK", "asia", 22.32, 114.17, 50_000),
+    _dc("singapore", "Southeast Asia (Singapore)", "SG", "asia", 1.35, 103.82, 60_000),
+    _dc("australia-east", "Australia East (Sydney)", "AU", "oceania", -33.87, 151.21, 50_000),
+    _dc("australia-southeast", "Australia Southeast (Melbourne)", "AU", "oceania", -37.81, 144.96, 40_000),
+)
+
+#: Fig 4's six representative destination DCs (orange triangles in Fig 2).
+FIG4_DC_CODES: Tuple[str, ...] = (
+    "australia-east",
+    "ca-central",
+    "hongkong",
+    "westeurope",
+    "southafrica-north",
+    "us-central",
+)
+
+#: DCs used in the Titan / Titan-Next European evaluation (§4.2, §7.3).
+EUROPE_DC_CODES: Tuple[str, ...] = (
+    "uk-south",
+    "france-central",
+    "westeurope",
+    "switzerland-north",
+    "ireland",
+)
+
+
+class World:
+    """Lookup façade over the country / city / ASN / DC catalog.
+
+    Cities and ASNs are synthesized lazily per country with a seeded RNG
+    so the catalog is deterministic for a given seed.
+    """
+
+    def __init__(
+        self,
+        countries: Sequence[Country] = ALL_COUNTRIES,
+        dcs: Sequence[DataCenter] = ALL_DCS,
+        cities_per_country: int = 12,
+        asns_per_country: int = 6,
+        seed: int = 7,
+    ) -> None:
+        self._countries: Dict[str, Country] = {c.code: c for c in countries}
+        self._dcs: Dict[str, DataCenter] = {d.code: d for d in dcs}
+        if len(self._countries) != len(countries):
+            raise ValueError("duplicate country codes")
+        if len(self._dcs) != len(dcs):
+            raise ValueError("duplicate DC codes")
+        self._cities_per_country = cities_per_country
+        self._asns_per_country = asns_per_country
+        self._seed = seed
+        self._cities: Dict[str, List[City]] = {}
+        self._asns: Dict[str, List[Asn]] = {}
+
+    # -- countries ---------------------------------------------------
+
+    @property
+    def countries(self) -> List[Country]:
+        return list(self._countries.values())
+
+    def country(self, code: str) -> Country:
+        try:
+            return self._countries[code]
+        except KeyError:
+            raise KeyError(f"unknown country code: {code!r}") from None
+
+    def countries_in(self, continent: Continent) -> List[Country]:
+        return [c for c in self._countries.values() if c.continent == continent]
+
+    @property
+    def europe_countries(self) -> List[Country]:
+        return self.countries_in("europe")
+
+    # -- DCs ---------------------------------------------------------
+
+    @property
+    def dcs(self) -> List[DataCenter]:
+        return list(self._dcs.values())
+
+    def dc(self, code: str) -> DataCenter:
+        try:
+            return self._dcs[code]
+        except KeyError:
+            raise KeyError(f"unknown DC code: {code!r}") from None
+
+    def dcs_in(self, continent: Continent) -> List[DataCenter]:
+        return [d for d in self._dcs.values() if d.continent == continent]
+
+    @property
+    def europe_dcs(self) -> List[DataCenter]:
+        return [self._dcs[code] for code in EUROPE_DC_CODES if code in self._dcs]
+
+    def nearest_dc(self, point: GeoPoint, candidates: Optional[Sequence[DataCenter]] = None) -> DataCenter:
+        from .coords import haversine_km
+
+        pool = list(candidates) if candidates is not None else self.dcs
+        if not pool:
+            raise ValueError("no candidate DCs")
+        return min(pool, key=lambda d: haversine_km(point, d.location))
+
+    # -- synthetic sub-country structure ------------------------------
+
+    def cities(self, country_code: str) -> List[City]:
+        """Synthetic cities scattered around the country centroid."""
+        if country_code not in self._cities:
+            country = self.country(country_code)
+            rng = np.random.default_rng((self._seed, stable_hash(country_code) & 0xFFFF, 1))
+            cities = []
+            weights = rng.zipf(1.6, size=self._cities_per_country).astype(float)
+            for i in range(self._cities_per_country):
+                lat = float(np.clip(country.centroid.lat + rng.normal(0, 2.5), -89.0, 89.0))
+                lon = float(np.clip(country.centroid.lon + rng.normal(0, 3.5), -179.0, 179.0))
+                cities.append(
+                    City(
+                        name=f"{country_code.lower()}-city-{i}",
+                        country_code=country_code,
+                        location=GeoPoint(lat, lon),
+                        population_weight=float(weights[i]),
+                    )
+                )
+            self._cities[country_code] = cities
+        return list(self._cities[country_code])
+
+    def asns(self, country_code: str) -> List[Asn]:
+        """Synthetic ASNs with Dirichlet market shares and quality spread."""
+        if country_code not in self._asns:
+            self.country(country_code)
+            rng = np.random.default_rng((self._seed, stable_hash(country_code) & 0xFFFF, 2))
+            shares = rng.dirichlet([1.2] * self._asns_per_country)
+            offsets = rng.normal(0.0, 0.018, size=self._asns_per_country)
+            base = 1000 + (stable_hash(country_code) & 0xFFF) * 10
+            self._asns[country_code] = [
+                Asn(number=base + i, country_code=country_code, share=float(shares[i]), quality_offset=float(offsets[i]))
+                for i in range(self._asns_per_country)
+            ]
+        return list(self._asns[country_code])
+
+
+_DEFAULT_WORLD: Optional[World] = None
+
+
+def default_world() -> World:
+    """A process-wide default :class:`World` (deterministic, seed=7)."""
+    global _DEFAULT_WORLD
+    if _DEFAULT_WORLD is None:
+        _DEFAULT_WORLD = World()
+    return _DEFAULT_WORLD

@@ -1,0 +1,177 @@
+"""Aggregation of the measurement study (§3 latency analysis).
+
+Implements the paper's analysis pipeline over probe records or directly
+over the latency model:
+
+* hourly medians per (country, DC, option);
+* CDFs of the hourly-median difference Internet − WAN (Fig 3),
+  bucketed into the paper's four headline categories;
+* fraction F of hours with Internet ≤ WAN + 10 ms per (country, DC)
+  (Fig 4 heatmap, and the Fig 19 six-months-earlier rerun);
+* 12-month latency trend (Fig 18).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.world import World
+from ..net.latency import INTERNET, WAN, LatencyModel
+from .probes import ProbeRecord
+
+
+@dataclass(frozen=True)
+class DiffBuckets:
+    """The §3 headline buckets of Internet − WAN hourly-median diffs."""
+
+    strictly_better: float
+    within_10ms: float
+    within_25ms: float
+    beyond_25ms: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "internet_strictly_better": self.strictly_better,
+            "worse_up_to_10ms": self.within_10ms,
+            "worse_10_to_25ms": self.within_25ms,
+            "worse_beyond_25ms": self.beyond_25ms,
+        }
+
+
+#: The paper's §3 headline numbers for the four buckets.
+PAPER_DIFF_BUCKETS = DiffBuckets(0.3373, 0.2398, 0.1961, 0.2268)
+
+
+def hourly_medians_from_records(
+    records: Iterable[ProbeRecord],
+) -> Dict[Tuple[str, str, str, int], float]:
+    """Hourly median RTT per (country, DC, option, hour)."""
+    samples: Dict[Tuple[str, str, str, int], List[float]] = defaultdict(list)
+    for record in records:
+        samples[(record.country_code, record.dc_code, record.option, record.hour)].append(
+            record.rtt_ms
+        )
+    return {key: float(np.median(vals)) for key, vals in samples.items()}
+
+
+def diff_series(
+    model: LatencyModel,
+    country_code: str,
+    dc_code: str,
+    hours: int = 168,
+    week_offset: int = 0,
+) -> np.ndarray:
+    """Hourly-median Internet − WAN differences for one pair."""
+    return np.array(
+        [
+            model.hourly_median_rtt_ms(country_code, dc_code, INTERNET, h, week_offset)
+            - model.hourly_median_rtt_ms(country_code, dc_code, WAN, h, week_offset)
+            for h in range(hours)
+        ]
+    )
+
+
+def diff_buckets(diffs: Sequence[float]) -> DiffBuckets:
+    """Bucket a set of differences into the §3 categories."""
+    d = np.asarray(diffs, dtype=float)
+    if d.size == 0:
+        raise ValueError("empty differences")
+    return DiffBuckets(
+        strictly_better=float(np.mean(d < 0)),
+        within_10ms=float(np.mean((d >= 0) & (d <= 10))),
+        within_25ms=float(np.mean((d > 10) & (d <= 25))),
+        beyond_25ms=float(np.mean(d > 25)),
+    )
+
+
+def global_diff_buckets(
+    model: LatencyModel,
+    hours: int = 168,
+    hour_step: int = 4,
+    countries: Optional[Sequence[str]] = None,
+    dcs: Optional[Sequence[str]] = None,
+) -> DiffBuckets:
+    """The Fig 3 buckets across all (country, DC) pairs."""
+    world = model.world
+    countries = countries if countries is not None else [c.code for c in world.countries]
+    dcs = dcs if dcs is not None else [d.code for d in world.dcs]
+    diffs: List[float] = []
+    for country in countries:
+        for dc in dcs:
+            for hour in range(0, hours, hour_step):
+                diffs.append(
+                    model.hourly_median_rtt_ms(country, dc, INTERNET, hour)
+                    - model.hourly_median_rtt_ms(country, dc, WAN, hour)
+                )
+    return diff_buckets(diffs)
+
+
+def continental_diff_cdfs(
+    model: LatencyModel,
+    hours: int = 168,
+    hour_step: int = 4,
+) -> Dict[str, np.ndarray]:
+    """Per-DC-continent difference samples (the Fig 3 panels)."""
+    world = model.world
+    panels: Dict[str, List[float]] = defaultdict(list)
+    for dc in world.dcs:
+        for country in world.countries:
+            diffs = [
+                model.hourly_median_rtt_ms(country.code, dc.code, INTERNET, h)
+                - model.hourly_median_rtt_ms(country.code, dc.code, WAN, h)
+                for h in range(0, hours, hour_step)
+            ]
+            panels[dc.continent].extend(diffs)
+    return {continent: np.sort(np.array(vals)) for continent, vals in panels.items()}
+
+
+def fraction_f_heatmap(
+    model: LatencyModel,
+    countries: Sequence[str],
+    dcs: Sequence[str],
+    hours: int = 168,
+    threshold_ms: float = 10.0,
+    week_offset: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """F per (DC, country): Internet ≤ WAN + threshold (Figs 4, 19)."""
+    heatmap: Dict[str, Dict[str, float]] = {}
+    for dc in dcs:
+        row: Dict[str, float] = {}
+        for country in countries:
+            diffs = diff_series(model, country, dc, hours, week_offset)
+            row[country] = float(np.mean(diffs <= threshold_ms))
+        heatmap[dc] = row
+    return heatmap
+
+
+def longterm_latency_changes(
+    model: LatencyModel,
+    countries: Sequence[str],
+    dcs: Sequence[str],
+    hours: int = 168,
+    weeks_apart: int = 52,
+) -> Dict[str, np.ndarray]:
+    """Weekly-median latency change, new minus old (Fig 18).
+
+    Negative values mean improvement; the paper finds 80+% of paths
+    improved over 12 months, the Internet slightly more than the WAN.
+    """
+    changes: Dict[str, List[float]] = {WAN: [], INTERNET: []}
+    for option in (WAN, INTERNET):
+        for country in countries:
+            for dc in dcs:
+                old = np.median(
+                    [model.hourly_median_rtt_ms(country, dc, option, h, 0) for h in range(0, hours, 4)]
+                )
+                new = np.median(
+                    [
+                        model.hourly_median_rtt_ms(country, dc, option, h, weeks_apart)
+                        for h in range(0, hours, 4)
+                    ]
+                )
+                changes[option].append(float(new - old))
+    return {option: np.array(vals) for option, vals in changes.items()}

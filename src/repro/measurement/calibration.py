@@ -1,0 +1,182 @@
+"""Calibration of the latency model against the paper's published data.
+
+The paper publishes (Fig 4) the fraction *F* of hours in which the
+Internet path is better than or within 10 ms of the WAN path, for 22
+client countries against 6 representative DCs.  That matrix is the
+ground truth our synthetic latency model should reproduce, so we invert
+it: for every published (country, DC) cell we bisect on the pair's
+*peering richness* until the model's F matches the published value.
+The fitted table ships as data
+(:mod:`repro.net._fig4_calibration`) and is loaded by
+:class:`repro.net.latency.LatencyModel` by default.
+
+The same module stores the published matrices for Fig 4 (June 2024) and
+Fig 19 (December 2023, used for the stability experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..geo.world import World, default_world
+from ..net.latency import INTERNET, WAN, LatencyModel, LatencyModelParams
+
+#: Column order of the published Fig 4 / Fig 19 heatmaps.
+FIG4_COUNTRY_ORDER: Tuple[str, ...] = (
+    "MX", "US", "CA", "BR", "CO", "ZA", "EG", "NG", "IN", "JP", "PH",
+    "SG", "AU", "GB", "DE", "FR", "NL", "IT", "ES", "SE", "PL", "CH",
+)
+
+#: Fig 4 — fraction F of hours Internet is better or within 10 ms of
+#: WAN, June 2024 week.  Rows keyed by destination DC code.
+PAPER_FIG4_F: Dict[str, Tuple[float, ...]] = {
+    "australia-east": (0.52, 0.58, 0.51, 0.44, 0.47, 0.28, 0.59, 0.55, 0.62,
+                       0.28, 0.55, 0.54, 0.70, 0.60, 0.53, 0.54, 0.53, 0.54,
+                       0.36, 0.76, 0.58, 0.54),
+    "ca-central": (0.64, 0.72, 0.65, 0.46, 0.60, 0.46, 0.52, 0.68, 0.30,
+                   0.57, 0.64, 0.54, 0.50, 0.60, 0.52, 0.60, 0.54, 0.45,
+                   0.39, 0.84, 0.54, 0.59),
+    "hongkong": (0.54, 0.62, 0.59, 0.54, 0.56, 0.22, 0.36, 0.62, 0.61,
+                 0.63, 0.70, 0.65, 0.67, 0.33, 0.43, 0.31, 0.39, 0.44,
+                 0.36, 0.56, 0.37, 0.45),
+    "westeurope": (0.56, 0.64, 0.67, 0.34, 0.59, 0.54, 0.60, 0.60, 0.60,
+                   0.54, 0.23, 0.14, 0.27, 0.77, 0.76, 0.71, 0.81, 0.64,
+                   0.61, 0.79, 0.70, 0.75),
+    "southafrica-north": (0.68, 0.71, 0.70, 0.66, 0.67, 0.67, 0.70, 0.47,
+                          0.62, 0.66, 0.61, 0.63, 0.68, 0.73, 0.75, 0.72,
+                          0.72, 0.69, 0.70, 0.82, 0.68, 0.69),
+    "us-central": (0.64, 0.74, 0.70, 0.68, 0.60, 0.49, 0.65, 0.56, 0.48,
+                   0.59, 0.71, 0.59, 0.53, 0.68, 0.64, 0.66, 0.67, 0.49,
+                   0.41, 0.85, 0.54, 0.60),
+}
+
+#: Fig 19 — the same F matrix measured six months earlier (Dec 2023).
+PAPER_FIG19_F: Dict[str, Tuple[float, ...]] = {
+    "australia-east": (0.53, 0.62, 0.52, 0.57, 0.43, 0.46, 0.50, 0.47, 0.63,
+                       0.27, 0.62, 0.53, 0.72, 0.51, 0.36, 0.52, 0.56, 0.44,
+                       0.43, 0.34, 0.43, 0.29),
+    "ca-central": (0.68, 0.73, 0.64, 0.49, 0.66, 0.60, 0.60, 0.55, 0.31,
+                   0.50, 0.60, 0.46, 0.50, 0.62, 0.57, 0.61, 0.52, 0.55,
+                   0.52, 0.85, 0.59, 0.54),
+    "hongkong": (0.48, 0.54, 0.39, 0.57, 0.47, 0.38, 0.26, 0.52, 0.63,
+                 0.66, 0.52, 0.69, 0.54, 0.27, 0.26, 0.24, 0.30, 0.29,
+                 0.30, 0.39, 0.25, 0.27),
+    "westeurope": (0.57, 0.60, 0.67, 0.36, 0.55, 0.62, 0.59, 0.53, 0.46,
+                   0.32, 0.50, 0.18, 0.18, 0.75, 0.73, 0.70, 0.77, 0.57,
+                   0.56, 0.78, 0.73, 0.71),
+    "southafrica-north": (0.65, 0.71, 0.73, 0.71, 0.66, 0.68, 0.63, 0.55,
+                          0.67, 0.72, 0.72, 0.68, 0.44, 0.72, 0.74, 0.71,
+                          0.76, 0.62, 0.70, 0.76, 0.69, 0.60),
+    "us-central": (0.68, 0.74, 0.75, 0.70, 0.72, 0.61, 0.62, 0.58, 0.57,
+                   0.61, 0.67, 0.53, 0.56, 0.69, 0.67, 0.65, 0.67, 0.65,
+                   0.59, 0.81, 0.60, 0.62),
+}
+
+
+def paper_fraction_f(country_code: str, dc_code: str, epoch: str = "jun24") -> Optional[float]:
+    """Published F for a (country, DC) cell, or None if not in Fig 4/19."""
+    table = PAPER_FIG4_F if epoch == "jun24" else PAPER_FIG19_F
+    if dc_code not in table:
+        return None
+    try:
+        idx = FIG4_COUNTRY_ORDER.index(country_code)
+    except ValueError:
+        return None
+    return table[dc_code][idx]
+
+
+def measured_fraction_f(
+    model: LatencyModel,
+    country_code: str,
+    dc_code: str,
+    hours: int = 168,
+    threshold_ms: float = 10.0,
+    week_offset: int = 0,
+) -> float:
+    """Model's F: share of hourly medians with Internet ≤ WAN + 10 ms."""
+    good = 0
+    for hour in range(hours):
+        internet = model.hourly_median_rtt_ms(country_code, dc_code, INTERNET, hour, week_offset)
+        wan = model.hourly_median_rtt_ms(country_code, dc_code, WAN, hour, week_offset)
+        if internet <= wan + threshold_ms:
+            good += 1
+    return good / float(hours)
+
+
+def _f_for_richness(
+    world: World,
+    params: LatencyModelParams,
+    seed: int,
+    country_code: str,
+    dc_code: str,
+    richness: float,
+    hours: int,
+) -> float:
+    model = LatencyModel(
+        world,
+        params=params,
+        seed=seed,
+        richness_overrides={(country_code, dc_code): richness},
+    )
+    return measured_fraction_f(model, country_code, dc_code, hours=hours)
+
+
+def fit_richness_overrides(
+    world: Optional[World] = None,
+    params: Optional[LatencyModelParams] = None,
+    seed: int = 11,
+    hours: int = 168,
+    iterations: int = 12,
+    targets: Optional[Dict[str, Tuple[float, ...]]] = None,
+) -> Dict[Tuple[str, str], float]:
+    """Fit per-pair richness so the model reproduces the Fig 4 heatmap.
+
+    F is monotonically increasing in richness (higher richness → lower
+    Internet RTT → more hours within threshold), so plain bisection
+    converges.  Cells whose target lies outside the attainable range are
+    clamped to the nearest endpoint.
+    """
+    world = world if world is not None else default_world()
+    params = params if params is not None else LatencyModelParams()
+    targets = targets if targets is not None else PAPER_FIG4_F
+    fitted: Dict[Tuple[str, str], float] = {}
+    for dc_code, row in targets.items():
+        for country_code, target in zip(FIG4_COUNTRY_ORDER, row):
+            lo, hi = -0.75, 1.25
+            f_lo = _f_for_richness(world, params, seed, country_code, dc_code, lo, hours)
+            f_hi = _f_for_richness(world, params, seed, country_code, dc_code, hi, hours)
+            if target <= f_lo:
+                fitted[(country_code, dc_code)] = lo
+                continue
+            if target >= f_hi:
+                fitted[(country_code, dc_code)] = hi
+                continue
+            for _ in range(iterations):
+                mid = (lo + hi) / 2.0
+                f_mid = _f_for_richness(world, params, seed, country_code, dc_code, mid, hours)
+                if f_mid < target:
+                    lo = mid
+                else:
+                    hi = mid
+            fitted[(country_code, dc_code)] = (lo + hi) / 2.0
+    return fitted
+
+
+def render_calibration_module(fitted: Dict[Tuple[str, str], float]) -> str:
+    """Render the fitted table as the ``_fig4_calibration`` module source."""
+    lines = [
+        '"""Fitted per-(country, DC) peering richness (generated file).',
+        "",
+        "Produced by repro.measurement.calibration.fit_richness_overrides;",
+        "do not edit by hand.",
+        '"""',
+        "",
+        "FIG4_RICHNESS = {",
+    ]
+    for (country, dc), value in sorted(fitted.items()):
+        lines.append(f'    ("{country}", "{dc}"): {value:.6f},')
+    lines.append("}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""The measurement campaign: clients × DCs × hours → probe records.
+
+Drives the §3 methodology at configurable scale: for each hour, clients
+(drawn per country, city, and ASN with population / market-share
+weights) issue probes through the round-robin load balancer to the VM
+fleet.  The result is a flat list of :class:`ProbeRecord` rows plus a
+:class:`CampaignStats` summary mirroring Table 1's scale accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..geo.world import World, stable_hash
+from ..net.latency import LatencyModel
+from .probes import LoadBalancer, ProbeRecord, ProbeSampler
+
+
+@dataclass
+class CampaignStats:
+    """Scale accounting for a campaign (the Table 1 columns)."""
+
+    measurements: int = 0
+    countries: Set[str] = field(default_factory=set)
+    cities: Set[str] = field(default_factory=set)
+    asns: Set[int] = field(default_factory=set)
+    subnets: Set[str] = field(default_factory=set)
+    dcs: Set[str] = field(default_factory=set)
+    hours: Set[int] = field(default_factory=set)
+
+    def observe(self, record: ProbeRecord) -> None:
+        self.measurements += 1
+        self.countries.add(record.country_code)
+        self.cities.add(record.city_name)
+        self.asns.add(record.asn)
+        self.subnets.add(record.client_subnet)
+        self.dcs.add(record.dc_code)
+        self.hours.add(record.hour)
+
+    @property
+    def measurements_per_day(self) -> float:
+        days = max(1.0, len(self.hours) / 24.0)
+        return self.measurements / days
+
+    def as_table(self) -> Dict[str, float]:
+        """The Table 1 rows (our scale, same shape)."""
+        return {
+            "avg_measurements_per_day": self.measurements_per_day,
+            "source_countries": len(self.countries),
+            "source_cities": len(self.cities),
+            "source_asns": len(self.asns),
+            "ip_subnets": len(self.subnets),
+            "destination_dcs": len(self.dcs),
+        }
+
+
+class MeasurementCampaign:
+    """Runs the probe campaign and collects records."""
+
+    def __init__(
+        self,
+        world: World,
+        latency: LatencyModel,
+        dc_codes: Optional[Sequence[str]] = None,
+        probes_per_country_hour: int = 4,
+        seed: int = 79,
+    ) -> None:
+        if probes_per_country_hour < 1:
+            raise ValueError("probes_per_country_hour must be >= 1")
+        self.world = world
+        self.latency = latency
+        self.dc_codes = list(dc_codes) if dc_codes is not None else [d.code for d in world.dcs]
+        self.sampler = ProbeSampler(latency)
+        self.probes_per_country_hour = probes_per_country_hour
+        self.seed = seed
+
+    def _client_rng(self, country_code: str, hour: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, stable_hash(country_code), hour))
+
+    def probes_for_hour(self, hour: int, week_offset: int = 0) -> Iterator[ProbeRecord]:
+        """All probes issued in one hour, across all client countries."""
+        balancer = LoadBalancer(self.dc_codes)
+        for country in self.world.countries:
+            rng = self._client_rng(country.code, hour)
+            cities = self.world.cities(country.code)
+            city_weights = np.array([c.population_weight for c in cities])
+            city_weights = city_weights / city_weights.sum()
+            asns = self.world.asns(country.code)
+            asn_weights = np.array([a.share for a in asns])
+            asn_weights = asn_weights / asn_weights.sum()
+            for _ in range(self.probes_per_country_hour):
+                vm = balancer.pick()
+                city = cities[int(rng.choice(len(cities), p=city_weights))]
+                asn = asns[int(rng.choice(len(asns), p=asn_weights))]
+                rtt = self.sampler.sample_rtt_ms(
+                    country.code, city, asn, vm, hour, rng, week_offset
+                )
+                subnet = f"{asn.number}.{int(rng.integers(0, 255))}.{int(rng.integers(0, 255))}.0/24"
+                yield ProbeRecord(
+                    hour=hour,
+                    dc_code=vm.dc_code,
+                    option=vm.option,
+                    rtt_ms=rtt,
+                    country_code=country.code,
+                    city_name=city.name,
+                    asn=asn.number,
+                    client_subnet=subnet,
+                )
+
+    def run(
+        self, hours: int, start_hour: int = 0, week_offset: int = 0
+    ) -> Tuple[List[ProbeRecord], CampaignStats]:
+        """Run the campaign for a window of hours."""
+        if hours < 0:
+            raise ValueError("hours must be non-negative")
+        records: List[ProbeRecord] = []
+        stats = CampaignStats()
+        for hour in range(start_hour, start_hour + hours):
+            for record in self.probes_for_hour(hour, week_offset):
+                records.append(record)
+                stats.observe(record)
+        return records, stats

@@ -1,0 +1,106 @@
+"""Measurement-data export/import (CSV).
+
+The paper commits to "open-source parts of the measurement data"; this
+module defines that interchange format for our synthetic campaign — one
+CSV row per probe, with the same anonymized schema the paper describes
+(§3 methodology): timestamp (hour), destination DC, routing option,
+RTT, and the offline-geolocated client labels (country / city / ASN)
+plus the /24-masked subnet surrogate.
+
+Round-tripping through the CSV is lossless for analysis purposes: the
+aggregation pipeline accepts loaded records exactly like fresh ones.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, TextIO, Union
+
+from .probes import ProbeRecord
+
+#: Column order of the export format (stable across versions).
+CSV_COLUMNS = (
+    "hour",
+    "dc_code",
+    "option",
+    "rtt_ms",
+    "country_code",
+    "city_name",
+    "asn",
+    "client_subnet",
+)
+
+
+def write_records(records: Iterable[ProbeRecord], target: Union[str, Path, TextIO]) -> int:
+    """Write probe records as CSV; returns the number of rows written."""
+    own_handle = isinstance(target, (str, Path))
+    handle: TextIO = open(target, "w", newline="") if own_handle else target  # type: ignore[arg-type]
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        count = 0
+        for record in records:
+            writer.writerow(
+                [
+                    record.hour,
+                    record.dc_code,
+                    record.option,
+                    f"{record.rtt_ms:.3f}",
+                    record.country_code,
+                    record.city_name,
+                    record.asn,
+                    record.client_subnet,
+                ]
+            )
+            count += 1
+        return count
+    finally:
+        if own_handle:
+            handle.close()
+
+
+def read_records(source: Union[str, Path, TextIO]) -> List[ProbeRecord]:
+    """Load probe records from a CSV produced by :func:`write_records`."""
+    own_handle = isinstance(source, (str, Path))
+    handle: TextIO = open(source, "r", newline="") if own_handle else source  # type: ignore[arg-type]
+    try:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError("empty measurement CSV")
+        if tuple(header) != CSV_COLUMNS:
+            raise ValueError(f"unexpected CSV header: {header}")
+        records = []
+        for row_number, row in enumerate(reader, start=2):
+            if len(row) != len(CSV_COLUMNS):
+                raise ValueError(f"malformed row {row_number}: {row}")
+            records.append(
+                ProbeRecord(
+                    hour=int(row[0]),
+                    dc_code=row[1],
+                    option=row[2],
+                    rtt_ms=float(row[3]),
+                    country_code=row[4],
+                    city_name=row[5],
+                    asn=int(row[6]),
+                    client_subnet=row[7],
+                )
+            )
+        return records
+    finally:
+        if own_handle:
+            handle.close()
+
+
+def records_to_csv_string(records: Sequence[ProbeRecord]) -> str:
+    """In-memory CSV rendering (handy for tests and small exports)."""
+    buffer = io.StringIO()
+    write_records(records, buffer)
+    return buffer.getvalue()
+
+
+def records_from_csv_string(text: str) -> List[ProbeRecord]:
+    """Inverse of :func:`records_to_csv_string`."""
+    return read_records(io.StringIO(text))

@@ -1,0 +1,109 @@
+"""Synthetic latency probes (§3 methodology).
+
+The paper's measurement rig: 42 VMs (2 per DC — one behind the Internet
+routing option, one behind the WAN), each serving a 1×1 image over
+HTTPS; a round-robin load balancer spreads client requests across VMs,
+and each VM logs the timestamp, /24-masked client IP, and GET
+round-trip time (connection setup excluded).
+
+We simulate the same pipeline: a :class:`ProbeVm` pair per DC, a
+round-robin :class:`LoadBalancer`, and :class:`ProbeRecord` rows with
+anonymized client identity.  RTTs come from the
+:class:`~repro.net.latency.LatencyModel`, with per-probe sampling noise
+on top of the hourly median and per-city / per-ASN offsets, so that the
+downstream aggregation (hourly medians per country) has realistic
+sub-structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.world import Asn, City, World
+from ..net.latency import INTERNET, WAN, LatencyModel
+
+
+@dataclass(frozen=True)
+class ProbeVm:
+    """One measurement VM: a DC plus a routing option."""
+
+    dc_code: str
+    option: str
+
+    def __post_init__(self) -> None:
+        if self.option not in (WAN, INTERNET):
+            raise ValueError(f"unknown option {self.option!r}")
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One logged measurement (anonymized).
+
+    ``client_subnet`` is the /24-masked client address surrogate; the
+    offline geolocation join is represented by carrying country / city /
+    ASN labels directly (the paper resolves them from a geo database).
+    """
+
+    hour: int
+    dc_code: str
+    option: str
+    rtt_ms: float
+    country_code: str
+    city_name: str
+    asn: int
+    client_subnet: str
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms <= 0:
+            raise ValueError("RTT must be positive")
+
+
+class LoadBalancer:
+    """Round-robin assignment of client probes to the 2-per-DC VM fleet."""
+
+    def __init__(self, dc_codes: Sequence[str]) -> None:
+        if not dc_codes:
+            raise ValueError("need at least one DC")
+        self.vms: List[ProbeVm] = []
+        for dc in dc_codes:
+            self.vms.append(ProbeVm(dc, INTERNET))
+            self.vms.append(ProbeVm(dc, WAN))
+        self._next = 0
+
+    def pick(self) -> ProbeVm:
+        vm = self.vms[self._next % len(self.vms)]
+        self._next += 1
+        return vm
+
+
+class ProbeSampler:
+    """Samples individual probe RTTs around the hourly path medians."""
+
+    def __init__(self, latency: LatencyModel, probe_sigma: float = 0.06) -> None:
+        self.latency = latency
+        self.probe_sigma = probe_sigma
+
+    def sample_rtt_ms(
+        self,
+        country_code: str,
+        city: Optional[City],
+        asn: Optional[Asn],
+        vm: ProbeVm,
+        hour: int,
+        rng: np.random.Generator,
+        week_offset: int = 0,
+    ) -> float:
+        """One probe: hourly median + city/ASN structure + probe noise."""
+        rtt = self.latency.hourly_median_rtt_ms(
+            country_code, vm.dc_code, vm.option, hour, week_offset
+        )
+        if city is not None:
+            city_index = int(city.name.rsplit("-", 1)[-1])
+            rtt += self.latency.city_offset_ms(country_code, city_index)
+        if asn is not None and vm.option == INTERNET:
+            rtt *= self.latency.asn_multiplier(country_code, asn.number)
+        rtt *= float(np.exp(rng.normal(0.0, self.probe_sigma)))
+        return max(1.0, rtt)

@@ -1,0 +1,96 @@
+"""Internet elasticity: how loss and RTT respond to offloaded traffic.
+
+Fig 8 (and Fig 17 in the appendix) show the central safety result behind
+Titan's 20% cap: as the offloaded fraction grows from 1% to 20%, neither
+loss nor RTT inflates systematically (median changes: 3 ms latency,
+0.06% loss across European pairs).  Beyond the production-tested range
+the paper expects congestion ("at fractions higher than 20% ... there is
+a chance that we congest the Internet paths").
+
+We model this as a congestion knee: below the knee the response is flat
+except for measurement drift; above it, loss and RTT inflate
+super-linearly.  The knee location varies per (country, DC) pair —
+transit capacity is not uniform — which is exactly why Titan must probe
+it empirically rather than assume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geo.world import World, stable_hash
+
+
+@dataclass(frozen=True)
+class ElasticityParams:
+    """Knobs for the congestion-knee model."""
+
+    #: Mean knee location (fraction of traffic on the Internet).
+    knee_mean: float = 0.26
+    #: Spread of the knee across (country, DC) pairs.
+    knee_sigma: float = 0.06
+    #: Minimum knee; some pairs congest early (Germany/Austria stories).
+    knee_min: float = 0.04
+    #: Loss inflation (percentage points) per unit (fraction - knee)^2.
+    loss_coeff_pct: float = 40.0
+    #: RTT inflation (ms) per unit (fraction - knee)^2.
+    rtt_coeff_ms: float = 900.0
+    #: Sub-knee drift: |latency| change at P50 ~3 ms, loss ~0.06% (Fig 17).
+    drift_rtt_ms: float = 3.0
+    drift_loss_pct: float = 0.05
+
+
+class ElasticityModel:
+    """Loss/RTT inflation as a function of the offloaded traffic fraction."""
+
+    def __init__(self, world: World, params: Optional[ElasticityParams] = None, seed: int = 19) -> None:
+        self.world = world
+        self.params = params if params is not None else ElasticityParams()
+        self.seed = seed
+
+    def knee_fraction(self, country_code: str, dc_code: str) -> float:
+        """Congestion-knee offload fraction for a (country, DC) pair.
+
+        Countries with poor loss quality congest at much lower
+        fractions — these are the pairs where Titan observed high loss
+        "even when a small amount of traffic was moved" (§4.2(5)).
+        """
+        country = self.world.country(country_code)
+        rng = np.random.default_rng((self.seed, stable_hash(country_code), stable_hash(dc_code), 1))
+        mean = self.params.knee_mean * (0.35 + 0.65 * country.loss_quality / 0.8)
+        knee = rng.normal(mean, self.params.knee_sigma)
+        return float(max(self.params.knee_min, knee))
+
+    def _excess(self, country_code: str, dc_code: str, fraction: float) -> float:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        knee = self.knee_fraction(country_code, dc_code)
+        return max(0.0, fraction - knee)
+
+    def loss_inflation_pct(self, country_code: str, dc_code: str, fraction: float) -> float:
+        """Extra loss (percentage points) caused by offloading ``fraction``."""
+        excess = self._excess(country_code, dc_code, fraction)
+        return self.params.loss_coeff_pct * excess * excess
+
+    def rtt_inflation_ms(self, country_code: str, dc_code: str, fraction: float) -> float:
+        """Extra RTT (ms) caused by offloading ``fraction`` of traffic."""
+        excess = self._excess(country_code, dc_code, fraction)
+        return self.params.rtt_coeff_ms * excess * excess
+
+    def measured_drift(
+        self, country_code: str, dc_code: str, rng: Optional[np.random.Generator] = None
+    ) -> tuple:
+        """Sub-knee measurement drift between two campaign phases (Fig 17).
+
+        Returns ``(rtt_delta_ms, loss_delta_pct)``.  Both are centred
+        near zero: infrastructure changes outside Titan dominate, and can
+        even be negative ("Internet infrastructure improved over time").
+        """
+        if rng is None:
+            rng = np.random.default_rng((self.seed, stable_hash(country_code), stable_hash(dc_code), 2))
+        rtt = rng.normal(1.0, self.params.drift_rtt_ms * 2.0)
+        loss = rng.normal(0.01, self.params.drift_loss_pct / 1.5)
+        return float(rtt), float(loss)

@@ -1,0 +1,159 @@
+"""Network events: fiber cuts, transit-ISP congestion, BGP failover.
+
+These model the production anecdotes of §4.2:
+
+* (6) congestion at transit ISPs — loss inflation visible simultaneously
+  on the end-to-end paths of multiple ISPs peering with one DC, with no
+  corresponding loss at the DC or on the WAN;
+* (7) fiber cuts that slash WAN capacity for months, making the Internet
+  a fall-back to free WAN capacity for other services;
+* (4d) automatic BGP failover to an alternate transit peer when one
+  transit becomes unavailable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.world import World, stable_hash
+from .topology import WanLink, WanTopology
+
+
+@dataclass(frozen=True)
+class FiberCut:
+    """A WAN backbone link outage over a slot interval [start, end)."""
+
+    link: WanLink
+    start_slot: int
+    end_slot: int
+
+    def __post_init__(self) -> None:
+        if self.end_slot <= self.start_slot:
+            raise ValueError("fiber cut must have positive duration")
+
+    def active(self, slot: int) -> bool:
+        return self.start_slot <= slot < self.end_slot
+
+
+@dataclass(frozen=True)
+class TransitCongestion:
+    """Congestion at one transit ISP peering with one DC.
+
+    Inflates loss on every Internet path that rides this transit,
+    producing the one-to-many loss pattern of §4.2(6).
+    """
+
+    dc_code: str
+    isp: str
+    start_slot: int
+    end_slot: int
+    extra_loss_pct: float
+
+    def __post_init__(self) -> None:
+        if self.end_slot <= self.start_slot:
+            raise ValueError("congestion event must have positive duration")
+        if self.extra_loss_pct < 0:
+            raise ValueError("extra loss must be non-negative")
+
+    def active(self, slot: int) -> bool:
+        return self.start_slot <= slot < self.end_slot
+
+
+class TransitSelector:
+    """Per-(country, DC) transit-ISP selection with BGP-style failover.
+
+    BGP picks one transit for each path ("usually, multiple transit
+    provider options; BGP picks one", §2.3 footnote); when the selected
+    transit suffers high unavailability the network fails over to an
+    alternate peer (§4.1(4d)).
+    """
+
+    def __init__(self, world: World, seed: int = 23) -> None:
+        self.world = world
+        self.seed = seed
+        self._failed: Dict[Tuple[str, str], set] = {}
+
+    def _preference(self, country_code: str, dc_code: str) -> List[str]:
+        dc = self.world.dc(dc_code)
+        isps = list(dc.transit_isps)
+        if not isps:
+            return []
+        rng = np.random.default_rng((self.seed, stable_hash(country_code), stable_hash(dc_code)))
+        rng.shuffle(isps)
+        return isps
+
+    def selected_transit(self, country_code: str, dc_code: str) -> Optional[str]:
+        """The transit currently carrying this (country, DC) Internet path."""
+        failed = self._failed.get((country_code, dc_code), set())
+        for isp in self._preference(country_code, dc_code):
+            if isp not in failed:
+                return isp
+        return None
+
+    def mark_failed(self, country_code: str, dc_code: str, isp: str) -> Optional[str]:
+        """Fail over away from ``isp``; returns the new transit (or None).
+
+        Mirrors the automatic mitigation of §4.1(4d): when a transit ASN
+        shows high unavailability, BGP steers to an alternative peer.
+        """
+        key = (country_code, dc_code)
+        self._failed.setdefault(key, set()).add(isp)
+        return self.selected_transit(country_code, dc_code)
+
+    def restore(self, country_code: str, dc_code: str, isp: Optional[str] = None) -> None:
+        """Clear failover state (one ISP, or all if ``isp`` is None)."""
+        key = (country_code, dc_code)
+        if key not in self._failed:
+            return
+        if isp is None:
+            del self._failed[key]
+        else:
+            self._failed[key].discard(isp)
+
+
+class EventSchedule:
+    """A timeline of fiber cuts and transit congestion events."""
+
+    def __init__(
+        self,
+        topology: WanTopology,
+        fiber_cuts: Sequence[FiberCut] = (),
+        congestions: Sequence[TransitCongestion] = (),
+    ) -> None:
+        self.topology = topology
+        self.fiber_cuts = list(fiber_cuts)
+        self.congestions = list(congestions)
+
+    def active_cuts(self, slot: int) -> List[FiberCut]:
+        return [cut for cut in self.fiber_cuts if cut.active(slot)]
+
+    def active_congestions(self, slot: int) -> List[TransitCongestion]:
+        return [c for c in self.congestions if c.active(slot)]
+
+    def extra_internet_loss_pct(
+        self, country_code: str, dc_code: str, slot: int, selector: TransitSelector
+    ) -> float:
+        """Extra loss on the Internet path due to congested transits.
+
+        Only paths currently riding the congested ISP are affected —
+        this is what produces the one-to-many pattern when many client
+        countries share a transit into one DC.
+        """
+        transit = selector.selected_transit(country_code, dc_code)
+        if transit is None:
+            return 0.0
+        extra = 0.0
+        for event in self.active_congestions(slot):
+            if event.dc_code == dc_code and event.isp == transit:
+                extra += event.extra_loss_pct
+        return extra
+
+    def wan_capacity_factor(self, link: WanLink, slot: int) -> float:
+        """Remaining capacity multiplier for a WAN link (0 when cut)."""
+        for cut in self.active_cuts(slot):
+            if cut.link.key == link.key:
+                return 0.0
+        return 1.0

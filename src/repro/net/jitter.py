@@ -1,0 +1,58 @@
+"""Jitter model.
+
+The paper (§4.2(3)) reports mean jitter of 3.4 ms on WAN and 3.52 ms on
+Internet paths in North America — the Internet is up to ~10% worse, an
+amount absorbed by jitter buffers and therefore not performance-
+relevant.  We model jitter as a gamma distribution whose mean scales
+mildly with the path's loss quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..geo.world import World, stable_hash
+from .latency import INTERNET, WAN, _OPTION_IDS
+
+
+@dataclass(frozen=True)
+class JitterModelParams:
+    """Knobs for the jitter model (defaults match §4.2(3))."""
+
+    wan_mean_ms: float = 3.4
+    internet_mean_ms: float = 3.52
+    #: Gamma shape; higher = tighter around the mean.
+    shape: float = 4.0
+    #: Extra Internet jitter at loss_quality 0 (relative).
+    internet_quality_span: float = 0.25
+
+
+class JitterModel:
+    """Samples per-slot mean jitter, deterministic per seed."""
+
+    def __init__(self, world: World, params: Optional[JitterModelParams] = None, seed: int = 17) -> None:
+        self.world = world
+        self.params = params if params is not None else JitterModelParams()
+        self.seed = seed
+
+    def mean_jitter_ms(self, country_code: str, option: str) -> float:
+        """Long-run mean jitter for a (country, option)."""
+        if option == WAN:
+            return self.params.wan_mean_ms
+        country = self.world.country(country_code)
+        scale = 1.0 + (1.0 - country.loss_quality) * self.params.internet_quality_span
+        return self.params.internet_mean_ms * scale
+
+    def slot_jitter_ms(self, country_code: str, dc_code: str, option: str, slot: int) -> float:
+        """Median jitter for a 30-minute slot. Deterministic."""
+        if option not in _OPTION_IDS:
+            raise ValueError(f"unknown routing option: {option!r}")
+        mean = self.mean_jitter_ms(country_code, option)
+        rng = np.random.default_rng(
+            (self.seed, stable_hash(country_code), stable_hash(dc_code), _OPTION_IDS[option], slot)
+        )
+        shape = self.params.shape
+        return float(rng.gamma(shape, mean / shape))

@@ -1,0 +1,150 @@
+"""Packet-loss model for WAN and Internet paths.
+
+Section 4.2 of the paper reports (from 12 months of production):
+
+* loss rates are low (≤0.01%) for ~45% (Internet) / ~49% (WAN) of
+  hourly medians (Fig 6);
+* the Internet tail is much heavier: ~10% of Internet hours see ≥0.1%
+  loss, which is "almost non-existent" on the WAN;
+* the Internet has more and taller loss spikes — up to 3× the WAN's,
+  whose peaks stay under ~0.02% (Fig 7);
+* some client countries (Germany, Austria) show unacceptable Internet
+  loss even at tiny offload fractions (§4.2(5)).
+
+We model per-(country, DC, option) loss at 30-minute slot granularity as
+a lognormal baseline plus a spike regime whose probability grows as the
+country's ``loss_quality`` shrinks.  Sampling is counter-based and
+deterministic, like the latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..geo.world import World, stable_hash
+from .latency import INTERNET, WAN, _OPTION_IDS
+
+#: Slots per hour (the paper aggregates loss per 30 minutes in Fig 16).
+SLOTS_PER_HOUR = 2
+SLOTS_PER_DAY = 48
+SLOTS_PER_WEEK = 7 * SLOTS_PER_DAY
+
+
+@dataclass(frozen=True)
+class LossModelParams:
+    """Tunable knobs of the loss model (defaults calibrated to Figs 6/7/16)."""
+
+    #: log10(loss %) baseline for Internet paths: N(mu, sigma).
+    internet_log10_mu: float = -2.0
+    internet_log10_sigma: float = 0.45
+    #: log10(loss %) baseline for WAN paths.
+    wan_log10_mu: float = -2.0
+    wan_log10_sigma: float = 0.35
+    #: Spike probability per slot on the Internet at loss_quality 1 / 0.
+    internet_spike_floor: float = 0.03
+    internet_spike_span: float = 0.18
+    #: Internet spike magnitude: lognormal around ~0.3% loss.
+    internet_spike_log10_mu: float = -0.5
+    internet_spike_log10_sigma: float = 0.45
+    #: WAN spikes are rare and tiny (peaks ~0.02%, Fig 7).
+    wan_spike_prob: float = 0.005
+    wan_spike_cap_pct: float = 0.05
+    #: Loss persists across neighbouring slots during a spike episode.
+    spike_run_slots: int = 3
+
+
+class LossModel:
+    """Samples per-slot median loss percentages, deterministic per seed."""
+
+    def __init__(
+        self,
+        world: World,
+        params: Optional[LossModelParams] = None,
+        seed: int = 13,
+    ) -> None:
+        self.world = world
+        self.params = params if params is not None else LossModelParams()
+        self.seed = seed
+
+    def _rng(self, *labels: object) -> np.random.Generator:
+        key = [self.seed]
+        for label in labels:
+            key.append(stable_hash(label) if isinstance(label, str) else int(label) & 0xFFFFFFFF)
+        return np.random.default_rng(tuple(key))
+
+    # -- spike regime ----------------------------------------------------
+
+    def spike_probability(self, country_code: str, option: str) -> float:
+        """Per-episode spike probability for a (country, option)."""
+        if option == WAN:
+            return self.params.wan_spike_prob
+        country = self.world.country(country_code)
+        return self.params.internet_spike_floor + (1.0 - country.loss_quality) * self.params.internet_spike_span
+
+    def _spike_pct(self, country_code: str, dc_code: str, option: str, slot: int) -> Optional[float]:
+        """Spike loss magnitude if the slot falls in a spike episode.
+
+        Spikes are drawn per *episode* (a run of ``spike_run_slots``
+        consecutive slots) so that a spike persists for a realistic
+        period rather than flickering per slot.
+        """
+        p = self.params
+        episode = slot // p.spike_run_slots
+        rng = self._rng("spike", country_code, dc_code, _OPTION_IDS[option], episode)
+        if rng.random() >= self.spike_probability(country_code, option):
+            return None
+        if option == WAN:
+            return float(min(p.wan_spike_cap_pct, 10 ** rng.normal(-1.8, 0.3)))
+        # Countries with poor transit (Germany, Austria) see both more
+        # frequent *and* taller spikes (§4.2(5)).
+        country = self.world.country(country_code)
+        mu = p.internet_spike_log10_mu + (0.8 - country.loss_quality) * 0.8
+        magnitude = 10 ** rng.normal(mu, p.internet_spike_log10_sigma)
+        return float(min(5.0, magnitude))
+
+    # -- sampling ----------------------------------------------------------
+
+    def slot_loss_pct(self, country_code: str, dc_code: str, option: str, slot: int) -> float:
+        """Median loss (percent) for a 30-minute slot. Deterministic."""
+        if option not in _OPTION_IDS:
+            raise ValueError(f"unknown routing option: {option!r}")
+        p = self.params
+        rng = self._rng("loss", country_code, dc_code, _OPTION_IDS[option], slot)
+        if option == WAN:
+            base = 10 ** rng.normal(p.wan_log10_mu, p.wan_log10_sigma)
+        else:
+            country = self.world.country(country_code)
+            # Poor-loss-quality countries shift the whole distribution up.
+            shift = (0.8 - country.loss_quality) * 0.35
+            base = 10 ** rng.normal(p.internet_log10_mu + shift, p.internet_log10_sigma)
+        spike = self._spike_pct(country_code, dc_code, option, slot)
+        loss = max(base, spike) if spike is not None else base
+        return float(min(100.0, loss))
+
+    def hourly_loss_pct(self, country_code: str, dc_code: str, option: str, hour: int) -> float:
+        """Hourly median loss: median of the hour's two 30-minute slots."""
+        slots = [
+            self.slot_loss_pct(country_code, dc_code, option, hour * SLOTS_PER_HOUR + i)
+            for i in range(SLOTS_PER_HOUR)
+        ]
+        return float(np.median(slots))
+
+    def sustained_spike_fraction(
+        self,
+        country_code: str,
+        dc_code: str,
+        option: str,
+        threshold_pct: float,
+        slots: int = SLOTS_PER_WEEK,
+        start_slot: int = 0,
+    ) -> float:
+        """Fraction of slots with loss ≥ threshold over a window (Fig 16)."""
+        hits = sum(
+            1
+            for s in range(start_slot, start_slot + slots)
+            if self.slot_loss_pct(country_code, dc_code, option, s) >= threshold_pct
+        )
+        return hits / float(slots)

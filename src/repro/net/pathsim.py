@@ -1,0 +1,141 @@
+"""Packet-level path simulation.
+
+Connects the statistical path models (latency / loss / jitter) to the
+telemetry layer at per-packet granularity: an RTP-like stream is sent
+through a (country, DC, option) path, each packet experiencing the
+slot's base one-way delay, gamma-distributed jitter, and i.i.d. drop at
+the slot's loss rate.  The receiver side feeds
+:class:`~repro.telemetry.rtp.RtpLossAccountant` (network loss from
+sequence numbers) and
+:class:`~repro.telemetry.jitterbuffer.AdaptiveJitterBuffer`
+(late-loss and playout delay), producing the per-participant metrics
+Titan's telemetry pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..geo.world import World
+from ..telemetry.jitterbuffer import AdaptiveJitterBuffer, JitterBufferParams, PlayoutStats
+from ..telemetry.rtp import RtpLossAccountant, RtpLossStats, SEQ_SPACE
+from .jitter import JitterModel
+from .latency import LatencyModel
+from .loss import LossModel
+
+
+@dataclass
+class StreamResult:
+    """Receiver-side outcome of one simulated media stream."""
+
+    rtp: RtpLossStats
+    playout: PlayoutStats
+    mean_one_way_ms: float
+
+    @property
+    def network_loss_pct(self) -> float:
+        return self.rtp.loss_pct
+
+    @property
+    def effective_loss_pct(self) -> float:
+        """Network loss plus jitter-buffer late losses, as the user sees it."""
+        total = self.rtp.expected
+        if total <= 0:
+            return 0.0
+        return 100.0 * (self.rtp.lost + self.playout.late) / total
+
+
+class PathSimulator:
+    """Simulates RTP streams over a modelled path at packet granularity."""
+
+    def __init__(
+        self,
+        world: World,
+        latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
+        jitter: Optional[JitterModel] = None,
+        packet_interval_ms: float = 20.0,
+        buffer_params: Optional[JitterBufferParams] = None,
+    ) -> None:
+        if packet_interval_ms <= 0:
+            raise ValueError("packet interval must be positive")
+        self.world = world
+        self.latency = latency if latency is not None else LatencyModel(world)
+        self.loss = loss if loss is not None else LossModel(world)
+        self.jitter = jitter if jitter is not None else JitterModel(world)
+        self.packet_interval_ms = packet_interval_ms
+        self.buffer_params = buffer_params
+
+    def simulate_stream(
+        self,
+        country_code: str,
+        dc_code: str,
+        option: str,
+        slot: int,
+        packets: int,
+        rng: np.random.Generator,
+        extra_loss_pct: float = 0.0,
+    ) -> StreamResult:
+        """Send ``packets`` through the path during one 30-minute slot.
+
+        ``extra_loss_pct`` layers event-driven loss (transit congestion,
+        elasticity inflation) on top of the path's own rate.
+        """
+        if packets < 1:
+            raise ValueError("need at least one packet")
+        if extra_loss_pct < 0:
+            raise ValueError("extra loss must be non-negative")
+        hour = slot // 2
+        base_one_way = self.latency.hourly_median_rtt_ms(country_code, dc_code, option, hour) / 2.0
+        loss_pct = min(
+            100.0,
+            self.loss.slot_loss_pct(country_code, dc_code, option, slot) + extra_loss_pct,
+        )
+        mean_jitter = self.jitter.mean_jitter_ms(country_code, option)
+        # Gamma jitter with the model's shape, applied per packet.
+        shape = self.jitter.params.shape
+        scale = mean_jitter / shape
+
+        send_times = np.arange(packets, dtype=float) * self.packet_interval_ms
+        jitter_draws = rng.gamma(shape, scale, size=packets)
+        arrival_times = send_times + base_one_way + jitter_draws
+        dropped = rng.random(packets) < loss_pct / 100.0
+        if packets:
+            dropped[-1] = False  # bound the RTP expected count
+
+        accountant = RtpLossAccountant()
+        buffer = AdaptiveJitterBuffer(self.buffer_params)
+        kept_send = []
+        kept_arrival = []
+        for index in range(packets):
+            if dropped[index]:
+                continue
+            accountant.observe(index % SEQ_SPACE)
+            kept_send.append(send_times[index])
+            kept_arrival.append(arrival_times[index])
+        playout = buffer.play_stream(kept_send, kept_arrival)
+        return StreamResult(
+            rtp=accountant.stats(),
+            playout=playout,
+            mean_one_way_ms=float(base_one_way + mean_jitter),
+        )
+
+    def compare_options(
+        self,
+        country_code: str,
+        dc_code: str,
+        slot: int,
+        packets: int = 3000,
+        seed: int = 97,
+    ) -> Tuple[StreamResult, StreamResult]:
+        """(WAN result, Internet result) for the same stream shape."""
+        from .latency import INTERNET, WAN
+
+        rng = np.random.default_rng(seed)
+        wan = self.simulate_stream(country_code, dc_code, WAN, slot, packets, rng)
+        rng = np.random.default_rng(seed)
+        internet = self.simulate_stream(country_code, dc_code, INTERNET, slot, packets, rng)
+        return wan, internet

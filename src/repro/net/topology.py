@@ -1,0 +1,205 @@
+"""WAN backbone topology and path resolution.
+
+The paper contrasts two routing options (Fig 1):
+
+* **WAN (cold-potato)** — traffic enters the provider's private WAN at the
+  edge PoP *closest to the user* and rides the backbone all the way to the
+  MP DC.  It therefore consumes WAN links along the whole route, and the
+  operator is billed on per-link peak usage.
+* **Internet (hot-potato)** — traffic stays on the public Internet and
+  enters/exits the provider network *at the DC*, consuming (almost) no
+  WAN links.
+
+We model the backbone as a graph whose nodes are the DCs plus one edge
+PoP per client country.  Each edge PoP attaches to its nearest DCs, and
+DCs are interconnected with a distance-weighted mesh thinned to a
+plausible degree.  WAN routing is shortest-path by fiber distance; the
+links along that path are what the Titan-Next LP charges for
+(``isLinkUsed`` in Fig 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..geo.coords import haversine_km
+from ..geo.world import DataCenter, World
+
+
+@dataclass(frozen=True)
+class WanLink:
+    """An undirected WAN backbone link between two nodes."""
+
+    a: str
+    b: str
+    distance_km: float
+
+    @property
+    def key(self) -> FrozenSet[str]:
+        return frozenset((self.a, self.b))
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("self-loop WAN link")
+        if self.distance_km <= 0:
+            raise ValueError("link distance must be positive")
+
+
+def pop_node(country_code: str) -> str:
+    """Graph node name for a client country's edge PoP."""
+    return f"pop:{country_code}"
+
+
+def dc_node(dc_code: str) -> str:
+    """Graph node name for a data center."""
+    return f"dc:{dc_code}"
+
+
+class WanTopology:
+    """The provider backbone: edge PoPs, DCs, links, and WAN paths.
+
+    Parameters
+    ----------
+    world:
+        Country / DC catalog.
+    dc_degree:
+        Number of nearest peer DCs each DC connects to (before
+        de-duplication); the DC mesh is additionally forced connected
+        with a minimum spanning tree over great-circle distances.
+    pop_attachments:
+        Number of nearest DCs each country edge PoP attaches to.
+    """
+
+    def __init__(self, world: World, dc_degree: int = 3, pop_attachments: int = 2) -> None:
+        if dc_degree < 1 or pop_attachments < 1:
+            raise ValueError("dc_degree and pop_attachments must be >= 1")
+        self.world = world
+        self._graph = nx.Graph()
+        self._links: Dict[FrozenSet[str], WanLink] = {}
+        self._build(dc_degree, pop_attachments)
+        self._path_cache: Dict[Tuple[str, str], List[WanLink]] = {}
+
+    # -- construction --------------------------------------------------
+
+    def _add_link(self, a: str, b: str, distance_km: float) -> None:
+        link = WanLink(a, b, max(distance_km, 1.0))
+        if link.key in self._links:
+            return
+        self._links[link.key] = link
+        self._graph.add_edge(a, b, weight=link.distance_km)
+
+    def _build(self, dc_degree: int, pop_attachments: int) -> None:
+        dcs = self.world.dcs
+        for dc in dcs:
+            self._graph.add_node(dc_node(dc.code))
+
+        # DC mesh: MST for connectivity plus k-nearest shortcuts.
+        complete = nx.Graph()
+        for i, da in enumerate(dcs):
+            for db in dcs[i + 1 :]:
+                complete.add_edge(
+                    dc_node(da.code),
+                    dc_node(db.code),
+                    weight=haversine_km(da.location, db.location),
+                )
+        for a, b, data in nx.minimum_spanning_edges(complete, data=True):
+            self._add_link(a, b, data["weight"])
+        for da in dcs:
+            peers = sorted(
+                (d for d in dcs if d.code != da.code),
+                key=lambda d: haversine_km(da.location, d.location),
+            )
+            for db in peers[:dc_degree]:
+                self._add_link(
+                    dc_node(da.code),
+                    dc_node(db.code),
+                    haversine_km(da.location, db.location),
+                )
+
+        # Country edge PoPs attach to their nearest DCs.
+        for country in self.world.countries:
+            node = pop_node(country.code)
+            self._graph.add_node(node)
+            nearest = sorted(dcs, key=lambda d: haversine_km(country.centroid, d.location))
+            for dc in nearest[:pop_attachments]:
+                self._add_link(node, dc_node(dc.code), haversine_km(country.centroid, dc.location))
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def links(self) -> List[WanLink]:
+        return list(self._links.values())
+
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    def link_between(self, a: str, b: str) -> Optional[WanLink]:
+        return self._links.get(frozenset((a, b)))
+
+    def wan_path(self, country_code: str, dc_code: str) -> List[WanLink]:
+        """WAN links traversed from a client country's PoP to an MP DC.
+
+        This is the cold-potato route: ingress at the PoP nearest the
+        user, then shortest fiber path across the backbone.
+        """
+        key = (country_code, dc_code)
+        if key not in self._path_cache:
+            src, dst = pop_node(country_code), dc_node(dc_code)
+            if src not in self._graph:
+                raise KeyError(f"no PoP for country {country_code!r}")
+            if dst not in self._graph:
+                raise KeyError(f"no node for DC {dc_code!r}")
+            nodes = nx.shortest_path(self._graph, src, dst, weight="weight")
+            links = []
+            for a, b in zip(nodes, nodes[1:]):
+                link = self.link_between(a, b)
+                assert link is not None
+                links.append(link)
+            self._path_cache[key] = links
+        return list(self._path_cache[key])
+
+    def wan_path_km(self, country_code: str, dc_code: str) -> float:
+        """Total fiber distance of the WAN route in km."""
+        return sum(link.distance_km for link in self.wan_path(country_code, dc_code))
+
+    def internet_links(self, country_code: str, dc_code: str) -> List[WanLink]:
+        """WAN links consumed by the hot-potato (Internet) option.
+
+        Internet routing keeps traffic off the backbone entirely: it
+        ingresses at the DC itself, so no WAN links are charged.
+        """
+        self.world.country(country_code)
+        self.world.dc(dc_code)
+        return []
+
+    def links_used(self, country_code: str, dc_code: str, option: str) -> List[WanLink]:
+        """Dispatch on routing option; the LP's ``isLinkUsed`` helper."""
+        if option == "wan":
+            return self.wan_path(country_code, dc_code)
+        if option == "internet":
+            return self.internet_links(country_code, dc_code)
+        raise ValueError(f"unknown routing option: {option!r}")
+
+    def remove_link(self, link: WanLink) -> None:
+        """Simulate a fiber cut: remove a backbone link (§4.2(7)).
+
+        Raises ``ValueError`` if removing the link would disconnect the
+        graph (the provider always keeps redundant topology).
+        """
+        if link.key not in self._links:
+            raise KeyError("link not in topology")
+        self._graph.remove_edge(link.a, link.b)
+        if not nx.is_connected(self._graph):
+            self._graph.add_edge(link.a, link.b, weight=link.distance_km)
+            raise ValueError("removing link would partition the backbone")
+        del self._links[link.key]
+        self._path_cache.clear()
+
+    def restore_link(self, link: WanLink) -> None:
+        """Undo :meth:`remove_link` once the fiber repair lands."""
+        self._add_link(link.a, link.b, link.distance_km)
+        self._path_cache.clear()

@@ -1,0 +1,18 @@
+"""LP substrate: modeling layer, bundled simplex, and HiGHS backend."""
+
+from .model import EQ, GE, LE, Constraint, LinearProgram, LinExpr, Solution, Variable
+from .scipy_backend import solve_highs
+from .simplex import solve_simplex
+
+__all__ = [
+    "EQ",
+    "GE",
+    "LE",
+    "Constraint",
+    "LinearProgram",
+    "LinExpr",
+    "Solution",
+    "Variable",
+    "solve_highs",
+    "solve_simplex",
+]

@@ -1,0 +1,237 @@
+"""A small linear-programming modeling layer.
+
+The paper's Titan-Next LP (Fig 13) and its Locality-First baseline are
+expressed against this interface.  It supports non-negative (optionally
+upper-bounded) variables, linear expressions with operator overloading,
+and ≤ / ≥ / = constraints.  Problems can be solved either with the
+bundled dense two-phase simplex (:mod:`repro.solver.simplex`) for small
+instances or with SciPy's HiGHS backend
+(:mod:`repro.solver.scipy_backend`) for production-sized ones; the
+solution object is identical either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+LE = "<="
+GE = ">="
+EQ = "=="
+
+_SENSES = (LE, GE, EQ)
+
+
+class Variable:
+    """A decision variable (non-negative by default)."""
+
+    __slots__ = ("index", "name", "lower", "upper")
+
+    def __init__(self, index: int, name: str, lower: float = 0.0, upper: Optional[float] = None) -> None:
+        if upper is not None and upper < lower:
+            raise ValueError(f"variable {name}: upper < lower")
+        self.index = index
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name})"
+
+    # -- arithmetic: variables promote to expressions -------------------
+
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0})
+
+    def __add__(self, other):
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._expr() - other
+
+    def __rsub__(self, other):
+        return (-1.0 * self._expr()) + other
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        return self._expr() * factor
+
+    __rmul__ = __mul__
+
+    def __le__(self, other):
+        return self._expr() <= other
+
+    def __ge__(self, other):
+        return self._expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._expr() == other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class LinExpr:
+    """A linear expression: sum of coeff * variable plus a constant."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Optional[Dict[int, float]] = None, constant: float = 0.0) -> None:
+        self.coeffs: Dict[int, float] = dict(coeffs) if coeffs else {}
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(value) -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return value._expr()
+        if isinstance(value, (int, float)):
+            return LinExpr(constant=float(value))
+        raise TypeError(f"cannot use {type(value).__name__} in a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.coeffs), self.constant)
+
+    def add_term(self, var: "Variable", coeff: Number = 1.0) -> "LinExpr":
+        """In-place ``self += coeff * var`` (O(1); use when building large sums)."""
+        self.coeffs[var.index] = self.coeffs.get(var.index, 0.0) + float(coeff)
+        return self
+
+    def __add__(self, other) -> "LinExpr":
+        other = self._coerce(other)
+        out = self.copy()
+        for idx, coeff in other.coeffs.items():
+            out.coeffs[idx] = out.coeffs.get(idx, 0.0) + coeff
+        out.constant += other.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinExpr":
+        return self._coerce(other) - self
+
+    def __mul__(self, factor: Number) -> "LinExpr":
+        if not isinstance(factor, (int, float)):
+            raise TypeError("expressions can only be scaled by numbers")
+        return LinExpr({i: c * factor for i, c in self.coeffs.items()}, self.constant * factor)
+
+    __rmul__ = __mul__
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - self._coerce(other), GE)
+
+    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
+        return Constraint(self - self._coerce(other), EQ)
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def value(self, assignment: Sequence[float]) -> float:
+        """Evaluate under a variable assignment (by index)."""
+        return self.constant + sum(c * assignment[i] for i, c in self.coeffs.items())
+
+
+@dataclass
+class Constraint:
+    """``expr (≤ | ≥ | =) 0`` in normalized form."""
+
+    expr: LinExpr
+    sense: str
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in _SENSES:
+            raise ValueError(f"unknown sense: {self.sense}")
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side when coefficients are moved left: -constant."""
+        return -self.expr.constant
+
+
+@dataclass
+class Solution:
+    """Result of an LP solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded" | "error"
+    objective: Optional[float]
+    values: Dict[str, float] = field(default_factory=dict)
+    iterations: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def __getitem__(self, var: Union[Variable, str]) -> float:
+        name = var.name if isinstance(var, Variable) else var
+        return self.values[name]
+
+
+class LinearProgram:
+    """A minimization LP built incrementally."""
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self.variables: List[Variable] = []
+        self.constraints: List[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self._names: Dict[str, Variable] = {}
+
+    def add_variable(self, name: str, lower: float = 0.0, upper: Optional[float] = None) -> Variable:
+        if name in self._names:
+            raise ValueError(f"duplicate variable name: {name}")
+        var = Variable(len(self.variables), name, lower, upper)
+        self.variables.append(var)
+        self._names[name] = var
+        return var
+
+    def variable(self, name: str) -> Variable:
+        return self._names[name]
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise TypeError("add_constraint expects a Constraint (use <=, >= or ==)")
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr: Union[LinExpr, Variable]) -> None:
+        """Set the (minimization) objective."""
+        self.objective = LinExpr._coerce(expr)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def solve(self, method: str = "auto") -> Solution:
+        """Solve with the chosen backend.
+
+        ``auto`` picks the bundled simplex for tiny problems and HiGHS
+        otherwise; ``simplex`` / ``highs`` force a backend.
+        """
+        if method == "auto":
+            method = "simplex" if self.num_variables <= 40 and self.num_constraints <= 40 else "highs"
+        if method == "simplex":
+            from .simplex import solve_simplex
+
+            return solve_simplex(self)
+        if method == "highs":
+            from .scipy_backend import solve_highs
+
+            return solve_highs(self)
+        raise ValueError(f"unknown method: {method!r}")

@@ -1,0 +1,83 @@
+"""HiGHS backend: solve :class:`LinearProgram` via scipy.optimize.linprog.
+
+This is the production backend for Titan-Next's LP (tens of thousands of
+variables); constraint matrices are assembled sparse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .model import EQ, GE, LE, LinearProgram, Solution
+
+
+def _assemble(lp: LinearProgram):
+    n = lp.num_variables
+    c = np.zeros(n)
+    for idx, coeff in lp.objective.coeffs.items():
+        c[idx] += coeff
+
+    ub_rows, ub_cols, ub_vals, b_ub = [], [], [], []
+    eq_rows, eq_cols, eq_vals, b_eq = [], [], [], []
+
+    for constraint in lp.constraints:
+        items = list(constraint.expr.coeffs.items())
+        rhs = constraint.rhs
+        if constraint.sense == EQ:
+            row = len(b_eq)
+            for idx, coeff in items:
+                eq_rows.append(row)
+                eq_cols.append(idx)
+                eq_vals.append(coeff)
+            b_eq.append(rhs)
+        else:
+            sign = 1.0 if constraint.sense == LE else -1.0
+            row = len(b_ub)
+            for idx, coeff in items:
+                ub_rows.append(row)
+                ub_cols.append(idx)
+                ub_vals.append(sign * coeff)
+            b_ub.append(sign * rhs)
+
+    a_ub = (
+        sparse.csr_matrix((ub_vals, (ub_rows, ub_cols)), shape=(len(b_ub), n))
+        if b_ub
+        else None
+    )
+    a_eq = (
+        sparse.csr_matrix((eq_vals, (eq_rows, eq_cols)), shape=(len(b_eq), n))
+        if b_eq
+        else None
+    )
+    bounds = [(v.lower, v.upper) for v in lp.variables]
+    return c, a_ub, (np.array(b_ub) if b_ub else None), a_eq, (np.array(b_eq) if b_eq else None), bounds
+
+
+def solve_highs(lp: LinearProgram) -> Solution:
+    """Solve with SciPy's HiGHS dual simplex / IPM."""
+    c, a_ub, b_ub, a_eq, b_eq, bounds = _assemble(lp)
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        return Solution(status="infeasible", objective=None, iterations=int(result.nit))
+    if result.status == 3:
+        return Solution(status="unbounded", objective=None, iterations=int(result.nit))
+    if not result.success:
+        return Solution(status="error", objective=None, iterations=int(getattr(result, "nit", 0)))
+    values = {var.name: float(result.x[var.index]) for var in lp.variables}
+    objective = float(result.fun) + lp.objective.constant
+    return Solution(
+        status="optimal",
+        objective=objective,
+        values=values,
+        iterations=int(result.nit),
+    )

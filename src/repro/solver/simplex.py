@@ -1,0 +1,174 @@
+"""Dense two-phase simplex solver.
+
+A from-scratch reference implementation used to validate the HiGHS
+backend on small instances and to keep the repository self-contained
+(the paper used COIN-OR; we bundle our own solver plus SciPy's).
+
+The problem is brought to standard form
+
+    minimize    c'x
+    subject to  Ax = b,  x >= 0,  b >= 0
+
+by adding slack/surplus variables for inequalities, shifting variables
+with non-zero lower bounds, and adding explicit constraint rows for
+upper bounds.  Phase 1 minimizes the sum of artificial variables to
+find a basic feasible solution; phase 2 continues from that basis with
+the real objective (artificials kept at zero via a large penalty).
+Bland's rule guarantees termination.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .model import EQ, GE, LE, LinearProgram, Solution
+
+_EPS = 1e-9
+_BIG = 1e9
+
+
+def _standard_form(lp: LinearProgram) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, int]:
+    """Convert an LP to ``(A, b, c, c0, n_structural)`` standard form.
+
+    Structural variables are shifted by their lower bounds so every
+    variable is non-negative; finite upper bounds become extra ≤ rows.
+    ``c0`` is the constant objective offset induced by the shift.
+    """
+    n = lp.num_variables
+    lowers = np.array([v.lower for v in lp.variables]) if n else np.zeros(0)
+    rows: List[np.ndarray] = []
+    senses: List[str] = []
+    rhs: List[float] = []
+
+    for constraint in lp.constraints:
+        row = np.zeros(n)
+        for idx, coeff in constraint.expr.coeffs.items():
+            row[idx] += coeff
+        rows.append(row)
+        senses.append(constraint.sense)
+        rhs.append(constraint.rhs - float(row @ lowers))
+
+    for var in lp.variables:
+        if var.upper is not None:
+            row = np.zeros(n)
+            row[var.index] = 1.0
+            rows.append(row)
+            senses.append(LE)
+            rhs.append(var.upper - var.lower)
+
+    c = np.zeros(n)
+    for idx, coeff in lp.objective.coeffs.items():
+        c[idx] += coeff
+    c0 = lp.objective.constant + float(c @ lowers)
+
+    m = len(rows)
+    slack_count = sum(1 for s in senses if s in (LE, GE))
+    A = np.zeros((m, n + slack_count))
+    b_vec = np.zeros(m)
+    col = n
+    for i, (row, sense, b) in enumerate(zip(rows, senses, rhs)):
+        A[i, :n] = row
+        b_vec[i] = b
+        if sense == LE:
+            A[i, col] = 1.0
+            col += 1
+        elif sense == GE:
+            A[i, col] = -1.0
+            col += 1
+    c_full = np.concatenate([c, np.zeros(slack_count)])
+
+    negative = b_vec < 0
+    A[negative, :] *= -1.0
+    b_vec[negative] *= -1.0
+    return A, b_vec, c_full, c0, n
+
+
+def _iterate(
+    tableau: np.ndarray, basis: np.ndarray, c: np.ndarray, max_iter: int
+) -> Tuple[str, int]:
+    """Primal simplex iterations on a reduced tableau (Bland's rule)."""
+    m = tableau.shape[0]
+    n = tableau.shape[1] - 1
+    iterations = 0
+    while iterations < max_iter:
+        iterations += 1
+        reduced = c[:n] - c[basis] @ tableau[:, :n]
+        entering = -1
+        for j in range(n):  # Bland: first improving index
+            if reduced[j] < -1e-7:
+                entering = j
+                break
+        if entering < 0:
+            return "optimal", iterations
+        column = tableau[:, entering]
+        best_ratio = np.inf
+        leaving = -1
+        for i in range(m):
+            if column[i] > _EPS:
+                ratio = tableau[i, -1] / column[i]
+                if ratio < best_ratio - _EPS or (
+                    ratio < best_ratio + _EPS and leaving >= 0 and basis[i] < basis[leaving]
+                ):
+                    best_ratio = ratio
+                    leaving = i
+        if leaving < 0:
+            return "unbounded", iterations
+        tableau[leaving, :] /= tableau[leaving, entering]
+        for r in range(m):
+            if r != leaving and abs(tableau[r, entering]) > _EPS:
+                tableau[r, :] -= tableau[r, entering] * tableau[leaving, :]
+        basis[leaving] = entering
+    return "error", iterations
+
+
+def solve_simplex(lp: LinearProgram, max_iter: int = 50_000) -> Solution:
+    """Solve an LP with the bundled two-phase dense simplex."""
+    A, b, c, c0, n_structural = _standard_form(lp)
+    m, n = A.shape
+
+    if m == 0:
+        # No constraints: minimum is at the lower bounds (all-zero shift).
+        values = {v.name: v.lower for v in lp.variables}
+        assignment = [values[v.name] for v in lp.variables]
+        negative_cost = [v for v in lp.variables if lp.objective.coeffs.get(v.index, 0.0) < 0]
+        for var in negative_cost:
+            if var.upper is None:
+                return Solution(status="unbounded", objective=None)
+            values[var.name] = var.upper
+        assignment = [values[v.name] for v in lp.variables]
+        return Solution(status="optimal", objective=lp.objective.value(assignment), values=values)
+
+    # Phase 1: identity basis of artificial variables.
+    A1 = np.hstack([A, np.eye(m)])
+    tableau = np.hstack([A1, b.reshape(-1, 1)])
+    basis = np.arange(n, n + m)
+    c1 = np.concatenate([np.zeros(n), np.ones(m)])
+    status, it1 = _iterate(tableau, basis, c1, max_iter)
+    if status != "optimal":
+        return Solution(status="error", objective=None, iterations=it1)
+    if float(c1[basis] @ tableau[:, -1]) > 1e-6:
+        return Solution(status="infeasible", objective=None, iterations=it1)
+
+    # Phase 2: continue from the feasible basis; artificials carry a
+    # large penalty so they stay at zero.
+    c2 = np.concatenate([c, np.full(m, _BIG)])
+    status, it2 = _iterate(tableau, basis, c2, max_iter)
+    if status != "optimal":
+        return Solution(status=status, objective=None, iterations=it1 + it2)
+
+    x = np.zeros(n + m)
+    x[basis] = tableau[:, -1]
+    if np.any(x[n:] > 1e-6):
+        return Solution(status="infeasible", objective=None, iterations=it1 + it2)
+
+    lowers = np.array([v.lower for v in lp.variables])
+    values = {
+        var.name: float(x[var.index] + lowers[var.index]) for var in lp.variables
+    }
+    assignment = [values[v.name] for v in lp.variables]
+    objective = lp.objective.value(assignment)
+    return Solution(
+        status="optimal", objective=float(objective), values=values, iterations=it1 + it2
+    )

@@ -1,0 +1,20 @@
+"""Telemetry substrate: call records, RTP loss accounting, MOS feedback."""
+
+from .jitterbuffer import AdaptiveJitterBuffer, JitterBufferParams, PlayoutStats
+from .mos import MosModel, MosModelParams
+from .records import CallRecordStore, ParticipantRecord
+from .rtp import SEQ_SPACE, RtpLossAccountant, RtpLossStats, simulate_stream
+
+__all__ = [
+    "AdaptiveJitterBuffer",
+    "JitterBufferParams",
+    "PlayoutStats",
+    "MosModel",
+    "MosModelParams",
+    "CallRecordStore",
+    "ParticipantRecord",
+    "SEQ_SPACE",
+    "RtpLossAccountant",
+    "RtpLossStats",
+    "simulate_stream",
+]

@@ -1,0 +1,92 @@
+"""MOS (Mean Opinion Score) model versus max end-to-end latency.
+
+Fig 11 of the paper plots average MOS against the maximum E2E latency
+across call participants and finds:
+
+* below ~75 ms the impact on MOS is minimal (users tolerate it);
+* beyond that, MOS degrades mostly linearly across the 50–250 ms range,
+  from ~4.85 down to ~4.65.
+
+We reproduce that shape with a flat-then-linear curve plus sampling
+noise ("MOS is collected at the end of a subset of calls and is heavily
+sampled").  Loss adds a further penalty so Titan's quality gates have a
+user-visible signal to key on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MosModelParams:
+    """Knobs of the MOS curve (defaults match Fig 11)."""
+
+    #: MOS plateau for low-latency calls.
+    plateau: float = 4.86
+    #: Latency below which MOS is unaffected (ms).
+    knee_ms: float = 75.0
+    #: MOS lost per ms of max-E2E latency beyond the knee.
+    slope_per_ms: float = 0.0012
+    #: MOS floor (scores rarely drop below this for connected calls).
+    floor: float = 1.0
+    #: MOS lost per percentage point of packet loss.
+    loss_penalty_per_pct: float = 0.25
+    #: Std-dev of individual user ratings around the mean.
+    rating_sigma: float = 0.5
+
+
+class MosModel:
+    """Maps call quality metrics to user feedback scores."""
+
+    def __init__(self, params: Optional[MosModelParams] = None, seed: int = 41) -> None:
+        self.params = params if params is not None else MosModelParams()
+        self.seed = seed
+
+    def mean_mos(self, max_e2e_latency_ms: float, loss_pct: float = 0.0) -> float:
+        """Expected MOS for a call (the Fig 11 curve)."""
+        if max_e2e_latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        if loss_pct < 0:
+            raise ValueError("loss must be non-negative")
+        p = self.params
+        excess = max(0.0, max_e2e_latency_ms - p.knee_ms)
+        mos = p.plateau - p.slope_per_ms * excess - p.loss_penalty_per_pct * loss_pct
+        return float(max(p.floor, min(5.0, mos)))
+
+    def sample_rating(
+        self,
+        max_e2e_latency_ms: float,
+        loss_pct: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """One user's (noisy, discretized) rating in [1, 5].
+
+        Real MOS feedback is a 1–5 star rating; we round the noisy draw
+        to the nearest star like the production survey does.
+        """
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
+        mean = self.mean_mos(max_e2e_latency_ms, loss_pct)
+        raw = rng.normal(mean, self.params.rating_sigma)
+        return float(min(5.0, max(1.0, round(raw))))
+
+    def average_rating(
+        self,
+        max_e2e_latency_ms: float,
+        loss_pct: float = 0.0,
+        samples: int = 1000,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Average of many sampled ratings (converges to the curve)."""
+        if samples < 1:
+            raise ValueError("need at least one sample")
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
+        ratings = [
+            self.sample_rating(max_e2e_latency_ms, loss_pct, rng) for _ in range(samples)
+        ]
+        return float(np.mean(ratings))

@@ -1,0 +1,104 @@
+"""Call records database (§6.1(1)).
+
+Teams "records and stores some data (anonymized) for each participant of
+the call including the start time, media type, time of the call, MP DC
+country, and the latency experienced by the user (client-to-MP)".
+Titan-Next consumes these records to forecast demand and to compute
+participant latencies.  We model the store as an in-memory,
+append-only table with the same schema and simple indexed queries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..workload.configs import CallConfig
+
+
+@dataclass(frozen=True)
+class ParticipantRecord:
+    """One (anonymized) participant row in the call records DB."""
+
+    call_id: int
+    country_code: str
+    media: str
+    start_slot: int
+    mp_dc_code: str
+    routing_option: str
+    latency_ms: float
+    loss_pct: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        if not 0.0 <= self.loss_pct <= 100.0:
+            raise ValueError("loss must be a percentage")
+
+
+class CallRecordStore:
+    """Append-only store of participant records with slot/config indexes."""
+
+    def __init__(self) -> None:
+        self._records: List[ParticipantRecord] = []
+        self._by_slot: Dict[int, List[int]] = defaultdict(list)
+        self._by_call: Dict[int, List[int]] = defaultdict(list)
+        self._config_counts: Dict[Tuple[CallConfig, int], int] = defaultdict(int)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: ParticipantRecord) -> None:
+        index = len(self._records)
+        self._records.append(record)
+        self._by_slot[record.start_slot].append(index)
+        self._by_call[record.call_id].append(index)
+
+    def extend(self, records: Iterable[ParticipantRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def record_call(self, call_id: int, config: CallConfig, start_slot: int) -> None:
+        """Register a whole call for per-config demand counting."""
+        self._config_counts[(config, start_slot)] += 1
+
+    # -- queries ----------------------------------------------------------
+
+    def records_in_slot(self, slot: int) -> List[ParticipantRecord]:
+        return [self._records[i] for i in self._by_slot.get(slot, [])]
+
+    def records_for_call(self, call_id: int) -> List[ParticipantRecord]:
+        return [self._records[i] for i in self._by_call.get(call_id, [])]
+
+    def call_count(self, config: CallConfig, slot: int) -> int:
+        """Number of calls of one config starting in one slot."""
+        return self._config_counts.get((config, slot), 0)
+
+    def demand_series(self, config: CallConfig, start_slot: int, slots: int) -> List[int]:
+        """Historical demand series for one config (forecast input)."""
+        return [self.call_count(config, s) for s in range(start_slot, start_slot + slots)]
+
+    def configs_seen(self) -> List[CallConfig]:
+        """All distinct configs ever recorded, by descending total count."""
+        totals: Dict[CallConfig, int] = defaultdict(int)
+        for (config, _), n in self._config_counts.items():
+            totals[config] += n
+        return [c for c, _ in sorted(totals.items(), key=lambda kv: (-kv[1], str(kv[0])))]
+
+    def max_e2e_latency_ms(self, call_id: int) -> Optional[float]:
+        """Max end-to-end latency across participant pairs of one call.
+
+        The E2E latency between two participants is the sum of their
+        one-way client-to-MP latencies (§5.2, Fig 10); the max over all
+        pairs is the sum of the two largest one-way latencies.  For a
+        single-participant call this is twice its one-way latency.
+        """
+        latencies = sorted(
+            (r.latency_ms for r in self.records_for_call(call_id)), reverse=True
+        )
+        if not latencies:
+            return None
+        if len(latencies) == 1:
+            return 2.0 * latencies[0]
+        return latencies[0] + latencies[1]

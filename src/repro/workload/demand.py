@@ -1,0 +1,216 @@
+"""Synthetic call demand: per-config arrival rates with seasonality.
+
+Titan-Next forecasts per-config call counts at 30-minute granularity
+(§6.1(2)) from 4 weeks of history, so the synthetic demand must carry
+realistic structure: a diurnal double hump (morning / afternoon business
+hours), a strong weekday/weekend effect, per-config popularity that is
+heavy-tailed (the paper's top 3,000 configs cover 90+% of calls), and
+day-to-day noise so that forecasting is non-trivial.
+
+Counts are Poisson-sampled deterministically per (seed, config, slot),
+so any window of the demand process can be regenerated independently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.world import Country, World, stable_hash
+from .configs import CallConfig
+from .media import AUDIO, MEDIA_TYPES, SCREENSHARE, VIDEO
+
+#: 30-minute slots, as in the paper's LP and forecasting pipeline.
+SLOTS_PER_DAY = 48
+SLOTS_PER_WEEK = 7 * SLOTS_PER_DAY
+
+#: Fraction of calls per media type (most Teams calls carry video).
+MEDIA_MIX: Dict[str, float] = {AUDIO: 0.45, VIDEO: 0.42, SCREENSHARE: 0.13}
+
+#: Fraction of calls that are intra-country ("majority", §6.3).
+INTRA_COUNTRY_FRACTION = 0.85
+
+#: Distribution of participant counts for intra-country calls.
+INTRA_SIZE_WEIGHTS: Dict[int, float] = {1: 0.10, 2: 0.38, 3: 0.22, 4: 0.14, 5: 0.09, 6: 0.04, 8: 0.02, 10: 0.01}
+
+#: Distribution of (countries, per-country size) for international calls.
+INTER_SIZE_WEIGHTS: Dict[Tuple[int, ...], float] = {
+    (1, 1): 0.55,
+    (2, 1): 0.20,
+    (1, 1, 1): 0.10,
+    (2, 2): 0.08,
+    (3, 1): 0.05,
+    (2, 1, 1): 0.02,
+}
+
+
+def diurnal_factor(slot_of_day: int) -> float:
+    """Business-hours double hump, normalized to mean ~1 over the day."""
+    hour = slot_of_day / 2.0
+    morning = math.exp(-((hour - 10.0) ** 2) / (2 * 2.2**2))
+    afternoon = math.exp(-((hour - 15.0) ** 2) / (2 * 2.6**2))
+    base = 0.08 + 1.9 * (morning + 0.9 * afternoon)
+    return base
+
+
+def weekday_factor(day_of_week: int) -> float:
+    """Weekday/weekend demand factor; day 0 is Monday."""
+    if day_of_week < 0:
+        raise ValueError("day_of_week must be non-negative")
+    return (1.0, 1.05, 1.06, 1.04, 0.95, 0.30, 0.25)[day_of_week % 7]
+
+
+@dataclass(frozen=True)
+class ConfigDemand:
+    """One call config plus its popularity weight in the universe."""
+
+    config: CallConfig
+    weight: float
+
+
+class ConfigUniverse:
+    """The population of call configs for a scenario (e.g. intra-Europe).
+
+    Builds intra-country configs for every (country, size, media) combo
+    and international configs for the most popular country pairs, with
+    Zipf-ish weights derived from country call volumes.  The result is a
+    deterministic ranked list; the paper's pipeline forecasts the top
+    3,000 configs, our scaled scenario defaults to the top few hundred.
+    """
+
+    def __init__(
+        self,
+        countries: Sequence[Country],
+        max_international_pairs: int = 40,
+        seed: int = 29,
+    ) -> None:
+        if not countries:
+            raise ValueError("need at least one country")
+        self.countries = list(countries)
+        self.seed = seed
+        self._demands = self._build(max_international_pairs)
+
+    def _build(self, max_pairs: int) -> List[ConfigDemand]:
+        demands: List[ConfigDemand] = []
+        total_weight = sum(c.call_volume_weight for c in self.countries)
+        # Intra-country configs.
+        for country in self.countries:
+            share = country.call_volume_weight / total_weight
+            for size, size_w in INTRA_SIZE_WEIGHTS.items():
+                for media, media_w in MEDIA_MIX.items():
+                    config = CallConfig(((country.code, size),), media)
+                    weight = INTRA_COUNTRY_FRACTION * share * size_w * media_w
+                    demands.append(ConfigDemand(config, weight))
+        # International configs between the heaviest country pairs.
+        ranked = sorted(self.countries, key=lambda c: -c.call_volume_weight)
+        pairs = list(itertools.combinations(ranked, 2))[:max_pairs]
+        pair_total = sum(a.call_volume_weight * b.call_volume_weight for a, b in pairs)
+        for a, b in pairs:
+            pair_share = a.call_volume_weight * b.call_volume_weight / pair_total
+            for sizes, size_w in INTER_SIZE_WEIGHTS.items():
+                for media, media_w in MEDIA_MIX.items():
+                    involved = [a, b]
+                    if len(sizes) > len(involved):
+                        third = next(
+                            (c for c in ranked if c not in involved), None
+                        )
+                        if third is None:
+                            continue
+                        involved.append(third)
+                    counts = {c.code: s for c, s in zip(involved, sizes)}
+                    config = CallConfig.from_counts(counts, media)
+                    weight = (1 - INTRA_COUNTRY_FRACTION) * pair_share * size_w * media_w
+                    demands.append(ConfigDemand(config, weight))
+        demands.sort(key=lambda d: (-d.weight, d.config))
+        return demands
+
+    @property
+    def demands(self) -> List[ConfigDemand]:
+        return list(self._demands)
+
+    @property
+    def configs(self) -> List[CallConfig]:
+        return [d.config for d in self._demands]
+
+    def top(self, n: int) -> List[ConfigDemand]:
+        """The n most popular configs (the paper forecasts the top 3,000)."""
+        return self._demands[:n]
+
+    def coverage(self, n: int) -> float:
+        """Fraction of total call weight covered by the top n configs."""
+        total = sum(d.weight for d in self._demands)
+        return sum(d.weight for d in self._demands[:n]) / total
+
+
+class DemandModel:
+    """Per-(config, slot) Poisson arrival process with seasonality.
+
+    ``expected_count`` is the deterministic rate (what an ideal
+    forecaster could learn); ``sample_count`` adds Poisson noise plus a
+    per-day demand shock shared across configs (news days, holidays),
+    which is what makes Holt-Winters' job realistic.
+    """
+
+    def __init__(
+        self,
+        universe: ConfigUniverse,
+        daily_calls: float = 40_000.0,
+        day_shock_sigma: float = 0.06,
+        seed: int = 31,
+    ) -> None:
+        if daily_calls <= 0:
+            raise ValueError("daily_calls must be positive")
+        self.universe = universe
+        self.daily_calls = daily_calls
+        self.day_shock_sigma = day_shock_sigma
+        self.seed = seed
+        total = sum(d.weight for d in universe.demands)
+        self._rates = {d.config: d.weight / total for d in universe.demands}
+        # Normalize diurnal shape so rates integrate to daily_calls.
+        self._diurnal_norm = sum(diurnal_factor(s) for s in range(SLOTS_PER_DAY))
+
+    def _config_rng(self, config: CallConfig, *labels: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, stable_hash(str(config)), *labels))
+
+    def day_shock(self, day: int) -> float:
+        """Market-wide demand multiplier for a day (shared across configs)."""
+        rng = np.random.default_rng((self.seed, 0xD45, day))
+        return float(np.exp(rng.normal(0.0, self.day_shock_sigma)))
+
+    def expected_count(self, config: CallConfig, slot: int) -> float:
+        """Deterministic expected calls for (config, slot)."""
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        rate = self._rates.get(config)
+        if rate is None:
+            return 0.0
+        day = slot // SLOTS_PER_DAY
+        slot_of_day = slot % SLOTS_PER_DAY
+        shape = diurnal_factor(slot_of_day) / self._diurnal_norm
+        return self.daily_calls * rate * shape * weekday_factor(day % 7)
+
+    def sample_count(self, config: CallConfig, slot: int) -> int:
+        """Poisson-sampled calls for (config, slot), deterministic."""
+        lam = self.expected_count(config, slot) * self.day_shock(slot // SLOTS_PER_DAY)
+        if lam <= 0:
+            return 0
+        rng = self._config_rng(config, slot)
+        return int(rng.poisson(lam))
+
+    def counts_for_slot(self, slot: int, top_n: Optional[int] = None) -> Dict[CallConfig, int]:
+        """Sampled counts for every (top_n) config in one slot."""
+        demands = self.universe.top(top_n) if top_n else self.universe.demands
+        counts = {}
+        for demand in demands:
+            n = self.sample_count(demand.config, slot)
+            if n > 0:
+                counts[demand.config] = n
+        return counts
+
+    def series(self, config: CallConfig, start_slot: int, slots: int) -> np.ndarray:
+        """Sampled demand time series for one config."""
+        return np.array([self.sample_count(config, s) for s in range(start_slot, start_slot + slots)])

@@ -1,0 +1,80 @@
+"""Media types and their resource footprints.
+
+Each call participant can send up to three streams — audio, video, and
+screen-share (§2.1).  A call's *call config* is labelled with the most
+resource-hungry media type present, with the paper's ordering
+``audio < screen-share < video`` (§5, "Call config").  Media type
+determines both per-participant network bandwidth (used by the LP's
+``networkUsed``) and MP compute cost (``computeUsed``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+AUDIO = "audio"
+SCREENSHARE = "screenshare"
+VIDEO = "video"
+
+#: Paper ordering: audio < screen-share < video (most resource-hungry).
+MEDIA_TYPES: Tuple[str, ...] = (AUDIO, SCREENSHARE, VIDEO)
+
+_MEDIA_RANK: Dict[str, int] = {m: i for i, m in enumerate(MEDIA_TYPES)}
+
+
+@dataclass(frozen=True)
+class MediaProfile:
+    """Resource footprint of one participant of a given media type."""
+
+    media: str
+    #: Mean bidirectional bandwidth per participant, kbit/s.
+    bandwidth_kbps: float
+    #: MP compute per participant, cores.
+    compute_cores: float
+
+
+#: Default resource profiles (representative conferencing bitrates).
+MEDIA_PROFILES: Dict[str, MediaProfile] = {
+    AUDIO: MediaProfile(AUDIO, bandwidth_kbps=60.0, compute_cores=0.02),
+    SCREENSHARE: MediaProfile(SCREENSHARE, bandwidth_kbps=900.0, compute_cores=0.06),
+    VIDEO: MediaProfile(VIDEO, bandwidth_kbps=1600.0, compute_cores=0.10),
+}
+
+
+def media_rank(media: str) -> int:
+    """Position in the resource-hunger ordering (audio lowest)."""
+    try:
+        return _MEDIA_RANK[media]
+    except KeyError:
+        raise ValueError(f"unknown media type: {media!r}") from None
+
+
+def dominant_media(media_types) -> str:
+    """The most resource-hungry media type present (labels the config)."""
+    present = list(media_types)
+    if not present:
+        raise ValueError("at least one media type required")
+    return max(present, key=media_rank)
+
+
+def profile(media: str) -> MediaProfile:
+    """Resource profile for a media type."""
+    try:
+        return MEDIA_PROFILES[media]
+    except KeyError:
+        raise ValueError(f"unknown media type: {media!r}") from None
+
+
+def participant_bandwidth_gbps(media: str, participants: int) -> float:
+    """Total bandwidth of ``participants`` streams, in Gbit/s."""
+    if participants < 0:
+        raise ValueError("participants must be non-negative")
+    return profile(media).bandwidth_kbps * participants / 1e6
+
+
+def participant_compute_cores(media: str, participants: int) -> float:
+    """Total MP compute of ``participants`` streams, in cores."""
+    if participants < 0:
+        raise ValueError("participants must be non-negative")
+    return profile(media).compute_cores * participants

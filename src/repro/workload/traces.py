@@ -1,0 +1,100 @@
+"""Individual call traces for the online-controller simulation.
+
+The oracle evaluation (§7) only needs per-config counts, but the
+practical evaluation (§8) simulates the *controller*: calls arrive one
+participant at a time, the MP DC and routing option must be chosen when
+the **first** participant joins, and the call may have to be migrated
+once the true config becomes known ~5 minutes in (§6.4).  That requires
+individual calls with a first-joiner country and a reveal of the final
+config — which is what this module generates, consistently with the
+aggregate :class:`repro.workload.demand.DemandModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.world import stable_hash
+from .configs import CallConfig
+from .demand import SLOTS_PER_DAY, DemandModel
+
+
+@dataclass(frozen=True)
+class Call:
+    """One call drawn from the trace generator.
+
+    ``first_joiner_country`` is the only information the controller has
+    at assignment time; ``config`` is the true (final) call config that
+    becomes observable ~5 minutes into the call.
+    """
+
+    call_id: int
+    config: CallConfig
+    start_slot: int
+    duration_slots: int
+    first_joiner_country: str
+
+    def __post_init__(self) -> None:
+        if self.duration_slots < 1:
+            raise ValueError("calls last at least one slot")
+        if self.first_joiner_country not in self.config.countries:
+            raise ValueError("first joiner must belong to the call config")
+
+    @property
+    def end_slot(self) -> int:
+        return self.start_slot + self.duration_slots
+
+    def active_in(self, slot: int) -> bool:
+        return self.start_slot <= slot < self.end_slot
+
+
+class TraceGenerator:
+    """Expands a :class:`DemandModel` into individual calls.
+
+    For each (config, slot) the generator emits ``sample_count`` calls;
+    each call picks its first joiner weighted by the config's per-country
+    participant counts and draws a duration from a clipped geometric
+    (median ~1 slot, tail up to a few hours).
+    """
+
+    def __init__(self, demand: DemandModel, top_n_configs: Optional[int] = None, seed: int = 37) -> None:
+        self.demand = demand
+        self.top_n_configs = top_n_configs
+        self.seed = seed
+
+    def _call_rng(self, config: CallConfig, slot: int) -> np.random.Generator:
+        return np.random.default_rng((self.seed, stable_hash(str(config)), slot))
+
+    def calls_for_slot(self, slot: int, id_offset: int = 0) -> List[Call]:
+        """All calls starting in one 30-minute slot."""
+        calls: List[Call] = []
+        counts = self.demand.counts_for_slot(slot, top_n=self.top_n_configs)
+        call_id = id_offset
+        for config, count in sorted(counts.items(), key=lambda kv: str(kv[0])):
+            rng = self._call_rng(config, slot)
+            countries = [c for c, _ in config.participants]
+            weights = np.array([n for _, n in config.participants], dtype=float)
+            weights /= weights.sum()
+            for _ in range(count):
+                first = str(rng.choice(countries, p=weights))
+                duration = 1 + int(rng.geometric(0.6))
+                duration = min(duration, 6)
+                calls.append(Call(call_id, config, slot, duration, first))
+                call_id += 1
+        return calls
+
+    def calls_for_window(self, start_slot: int, slots: int) -> List[Call]:
+        """All calls starting within [start_slot, start_slot + slots)."""
+        if slots < 0:
+            raise ValueError("slots must be non-negative")
+        calls: List[Call] = []
+        for slot in range(start_slot, start_slot + slots):
+            calls.extend(self.calls_for_slot(slot, id_offset=len(calls)))
+        return calls
+
+    def calls_for_day(self, day: int) -> List[Call]:
+        """All calls starting on one day (day 0 = Monday)."""
+        return self.calls_for_window(day * SLOTS_PER_DAY, SLOTS_PER_DAY)

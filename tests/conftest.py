@@ -1,0 +1,11 @@
+"""Shared fixtures: a small, fast evaluation setup."""
+
+import pytest
+
+from repro.core.titan_next import build_europe_setup
+
+
+@pytest.fixture(scope="session")
+def small_setup():
+    """A scaled-down intra-Europe setup shared by LP/policy/controller tests."""
+    return build_europe_setup(daily_calls=6_000, top_n_configs=60)

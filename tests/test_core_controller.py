@@ -1,0 +1,207 @@
+"""Tests for the online controllers and the prediction pipeline (§8)."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import (
+    CallAssignment,
+    FirstJoinerLf,
+    FirstJoinerTitan,
+    FirstJoinerWrr,
+    TitanNextController,
+)
+from repro.core.lp import JointAssignmentLp
+from repro.core.plan import OfflinePlan
+from repro.core.titan_next import (
+    migration_comparison,
+    oracle_demand_for_day,
+    predicted_demand_for_day,
+    run_prediction_day,
+)
+from repro.net.latency import INTERNET, WAN
+from repro.workload.configs import CallConfig
+from repro.workload.media import AUDIO, VIDEO
+from repro.workload.traces import Call, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def plan(small_setup):
+    demand = oracle_demand_for_day(small_setup, day=30)
+    result = JointAssignmentLp(small_setup.scenario, demand).solve()
+    assert result.is_optimal
+    return result.assignment
+
+
+class TestOfflinePlan:
+    def test_from_assignment_quotas(self, plan):
+        offline = OfflinePlan.from_assignment(plan)
+        slots_with_plans = {key[0] for key in plan}
+        # Busy midday slot must have a plan for common configs.
+        assert any(offline.configs_for_slot(t) for t in slots_with_plans)
+
+    def test_sample_and_consume(self, plan):
+        offline = OfflinePlan.from_assignment(plan)
+        rng = np.random.default_rng(1)
+        slot = 20
+        configs = offline.configs_for_slot(slot)
+        assert configs
+        config = configs[0]
+        choice = offline.sample(slot, config, rng)
+        assert choice is not None
+        dc, option = choice
+        before = offline.peek(slot, config, dc, option)
+        assert offline.consume(slot, config, dc, option)
+        assert offline.peek(slot, config, dc, option) == pytest.approx(before - 1.0)
+
+    def test_consume_exhausts(self):
+        config = CallConfig.from_counts({"FR": 1}, AUDIO)
+        offline = OfflinePlan.from_assignment({(0, config, "westeurope", WAN): 2.0})
+        assert offline.consume(0, config, "westeurope", WAN)
+        assert offline.consume(0, config, "westeurope", WAN)
+        assert not offline.consume(0, config, "westeurope", WAN)
+        rng = np.random.default_rng(0)
+        assert offline.sample(0, config, rng) is None
+
+    def test_sample_unknown_config(self):
+        offline = OfflinePlan()
+        rng = np.random.default_rng(0)
+        assert offline.sample(0, CallConfig.from_counts({"FR": 1}, AUDIO), rng) is None
+
+
+class TestTitanNextController:
+    def test_processes_calls_and_counts(self, small_setup, plan):
+        controller = TitanNextController(small_setup.scenario, OfflinePlan.from_assignment(plan))
+        trace = TraceGenerator(small_setup.demand, top_n_configs=small_setup.top_n_configs, seed=5)
+        calls = trace.calls_for_window(30 * 48 + 18, 4)
+        assignments = [controller.process(call) for call in calls]
+        assert controller.stats.calls == len(calls)
+        assert all(a.final_dc in small_setup.scenario.dc_codes for a in assignments)
+
+    def test_migration_rates_plausible(self, small_setup, plan):
+        """Table 4: DC migrations with reduced configs sit around 11-19%."""
+        controller = TitanNextController(small_setup.scenario, OfflinePlan.from_assignment(plan))
+        trace = TraceGenerator(small_setup.demand, top_n_configs=small_setup.top_n_configs, seed=5)
+        calls = trace.calls_for_window(30 * 48 + 16, 8)
+        for call in calls:
+            controller.process(call)
+        assert 0.0 <= controller.stats.dc_migration_rate < 0.5
+
+    def test_fallback_on_empty_plan(self, small_setup):
+        controller = TitanNextController(small_setup.scenario, OfflinePlan())
+        config = CallConfig.from_counts({"FR": 2}, VIDEO)
+        call = Call(0, config, 10, 1, "FR")
+        assignment = controller.process(call)
+        # Surge handling: nearest DC over the WAN.
+        assert assignment.initial_option == WAN
+        assert controller.stats.unplanned == 1
+
+    def test_no_migration_when_plan_matches(self, small_setup):
+        config = CallConfig.from_counts({"FR": 2}, VIDEO)
+        reduced = config.reduced()
+        plan = OfflinePlan.from_assignment(
+            {
+                (10, reduced, "france-central", WAN): 100.0,
+            }
+        )
+        controller = TitanNextController(small_setup.scenario, plan)
+        call = Call(0, config, 10, 1, "FR")
+        assignment = controller.process(call)
+        assert not assignment.dc_migrated
+
+    def test_migration_when_plan_differs(self, small_setup):
+        video_reduced = CallConfig.from_counts({"FR": 1}, VIDEO)
+        audio_reduced = CallConfig.from_counts({"FR": 1}, AUDIO)
+        plan = OfflinePlan.from_assignment(
+            {
+                (10, video_reduced, "ireland", WAN): 100.0,
+                (10, audio_reduced, "france-central", WAN): 100.0,
+            }
+        )
+        controller = TitanNextController(small_setup.scenario, plan)
+        # First joiner from FR; recent media defaults to video -> ireland.
+        call = Call(0, CallConfig.from_counts({"FR": 2}, AUDIO), 10, 1, "FR")
+        assignment = controller.process(call)
+        # True config is audio -> planned at france-central: migration.
+        assert assignment.initial_dc == "ireland"
+        assert assignment.final_dc == "france-central"
+        assert assignment.dc_migrated
+        assert controller.stats.dc_migrations == 1
+
+
+class TestFirstJoinerBaselines:
+    def _calls(self, setup, n_slots=4):
+        trace = TraceGenerator(setup.demand, top_n_configs=setup.top_n_configs, seed=7)
+        return trace.calls_for_window(30 * 48 + 18, n_slots)
+
+    def test_wrr_assigns_everything(self, small_setup):
+        controller = FirstJoinerWrr(small_setup.scenario)
+        calls = self._calls(small_setup)
+        assignments = [controller.process(c) for c in calls]
+        assert len(assignments) == len(calls)
+        assert all(a.final_dc in small_setup.scenario.dc_codes for a in assignments)
+
+    def test_lf_prefers_nearest(self, small_setup):
+        controller = FirstJoinerLf(small_setup.scenario)
+        config = CallConfig.from_counts({"FR": 2}, AUDIO)
+        call = Call(0, config, 10, 1, "FR")
+        assignment = controller.process(call)
+        # France's lowest-latency bucket is one of the nearby DCs.
+        near = {"france-central", "westeurope", "switzerland-north", "uk-south"}
+        assert assignment.final_dc in near
+
+    def test_titan_routing_fraction(self, small_setup):
+        controller = FirstJoinerTitan(small_setup.scenario, seed=9)
+        config = CallConfig.from_counts({"GB": 2}, AUDIO)
+        options = [controller.process(Call(i, config, 10, 1, "GB")).final_option for i in range(400)]
+        internet_share = np.mean([o == INTERNET for o in options])
+        # Fractions average ~18% at convergence.
+        assert 0.02 < internet_share < 0.4
+
+    def test_baselines_never_give_internet_to_disabled(self, small_setup):
+        config = CallConfig.from_counts({"DE": 2}, AUDIO)
+        for controller in (
+            FirstJoinerWrr(small_setup.scenario),
+            FirstJoinerLf(small_setup.scenario),
+            FirstJoinerTitan(small_setup.scenario),
+        ):
+            for i in range(50):
+                assignment = controller.process(Call(i, config, 10, 1, "DE"))
+                assert assignment.final_option == WAN
+
+
+class TestPredictionPipeline:
+    def test_predicted_demand_shape(self, small_setup):
+        predicted = predicted_demand_for_day(small_setup, day=30)
+        slots = {t for t, _ in predicted}
+        assert slots <= set(range(48))
+        assert all(v >= 0 for v in predicted.values())
+        # Reduced configs only.
+        assert all(c.reduced() == c for _, c in predicted)
+
+    def test_insufficient_history_rejected(self, small_setup):
+        with pytest.raises(ValueError):
+            predicted_demand_for_day(small_setup, day=3)
+
+    def test_prediction_total_close_to_actual(self, small_setup):
+        predicted = predicted_demand_for_day(small_setup, day=30)
+        actual = oracle_demand_for_day(small_setup, day=30)
+        predicted_total = sum(predicted.values())
+        actual_total = sum(actual.values())
+        assert predicted_total == pytest.approx(actual_total, rel=0.2)
+
+    def test_run_prediction_day_tn_beats_wrr(self, small_setup):
+        """Fig 15: TN reduces the sum of peaks vs first-joiner WRR."""
+        from repro.analysis.metrics import evaluate_assignment
+
+        results = run_prediction_day(small_setup, day=30, policies=("wrr", "titan-next"))
+        peaks = {
+            name: evaluate_assignment(small_setup.scenario, r.realized_table(), name).sum_of_peaks_gbps
+            for name, r in results.items()
+        }
+        assert peaks["titan-next"] < peaks["wrr"]
+
+    def test_migration_comparison_reduced_helps(self, small_setup):
+        """Table 4: reduced call configs cut migrations."""
+        rates = migration_comparison(small_setup, day=30)
+        assert rates["reduced"] <= rates["raw"]
+        assert rates["raw"] > 0

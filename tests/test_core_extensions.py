@@ -1,0 +1,150 @@
+"""Tests for the extension modules: split routing, granular rollout, CLI."""
+
+import pytest
+
+from repro.cli import _collect_overrides, _parse_value, main
+from repro.core.rollout import STAGES, GranularRollout, RolloutState, stage_share
+from repro.core.split_lp import SplitLpOptions, SplitRoutingLp
+from repro.core.titan import SyntheticPathProber
+from repro.core.titan_next import oracle_demand_for_day
+from repro.geo.world import default_world
+from repro.net.latency import LatencyModel
+from repro.net.loss import LossModel
+
+
+@pytest.fixture(scope="module")
+def demand_slice(small_setup):
+    full = oracle_demand_for_day(small_setup, day=2)
+    return {k: v for k, v in full.items() if k[0] < 6}
+
+
+class TestSplitRouting:
+    def test_solves(self, small_setup, demand_slice):
+        result = SplitRoutingLp(small_setup.scenario, demand_slice).solve()
+        assert result.is_optimal
+
+    def test_no_worse_than_single_option(self, small_setup, demand_slice):
+        from repro.core.lp import JointAssignmentLp
+
+        single = JointAssignmentLp(small_setup.scenario, demand_slice).solve()
+        split = SplitRoutingLp(small_setup.scenario, demand_slice).solve()
+        assert split.sum_of_peaks() <= single.sum_of_peaks() * (1 + 1e-6)
+
+    def test_placement_covers_demand(self, small_setup, demand_slice):
+        result = SplitRoutingLp(small_setup.scenario, demand_slice).solve()
+        for (t, config), count in demand_slice.items():
+            placed = sum(
+                v for (tt, c, _), v in result.placement.items() if tt == t and c == config
+            )
+            assert placed == pytest.approx(count, rel=1e-6, abs=1e-6)
+
+    def test_split_bounded_by_placement(self, small_setup, demand_slice):
+        result = SplitRoutingLp(small_setup.scenario, demand_slice).solve()
+        for (t, config, dc, country), split in result.internet_split.items():
+            placed = result.placement.get((t, config, dc), 0.0)
+            assert split <= placed + 1e-6
+
+    def test_internet_share_in_unit_range(self, small_setup, demand_slice):
+        result = SplitRoutingLp(small_setup.scenario, demand_slice).solve()
+        for (t, config, dc, country) in list(result.internet_split)[:50]:
+            share = result.internet_share_of(t, config, dc, country)
+            assert 0.0 <= share <= 1.0
+
+    def test_disabled_countries_never_split(self, small_setup, demand_slice):
+        result = SplitRoutingLp(small_setup.scenario, demand_slice).solve()
+        for (t, config, dc, country) in result.internet_split:
+            assert country not in ("DE", "AT")
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            SplitLpOptions(avg_rtt_bound_ms=0)
+
+    def test_empty_demand_rejected(self, small_setup):
+        with pytest.raises(ValueError):
+            SplitRoutingLp(small_setup.scenario, {})
+
+
+class TestGranularRollout:
+    @pytest.fixture(scope="class")
+    def prober(self):
+        world = default_world()
+        return SyntheticPathProber(LatencyModel(world), LossModel(world))
+
+    def test_stage_ladder(self):
+        assert [name for name, _ in STAGES] == ["cohort", "metro", "asn", "country"]
+        shares = [share for _, share in STAGES]
+        assert shares == sorted(shares)
+        assert stage_share("country") == 1.0
+        with pytest.raises(ValueError):
+            stage_share("planet")
+
+    def test_good_pairs_reach_country_level(self, prober):
+        world = default_world()
+        rollout = GranularRollout(world, prober, [("NL", "westeurope"), ("FR", "france-central")])
+        rollout.run(16)
+        ready = rollout.ready_for_percentage_ramp()
+        assert ("NL", "westeurope") in ready or ("FR", "france-central") in ready
+
+    def test_bad_pairs_get_parked_or_stuck(self, prober):
+        world = default_world()
+        rollout = GranularRollout(world, prober, [("DE", "westeurope"), ("AT", "westeurope")])
+        rollout.run(20)
+        ready = rollout.ready_for_percentage_ramp()
+        # Germany/Austria should not breeze to country level.
+        assert len(ready) <= 1
+
+    def test_parked_pairs_have_zero_exposure(self, prober):
+        state = RolloutState("DE", "westeurope", parked=True)
+        assert state.exposed_share == 0.0
+
+    def test_history_recorded(self, prober):
+        world = default_world()
+        rollout = GranularRollout(world, prober, [("GB", "ireland")])
+        rollout.run(5)
+        assert len(rollout.states[("GB", "ireland")].history) == 5
+
+    def test_validation(self, prober):
+        world = default_world()
+        with pytest.raises(ValueError):
+            GranularRollout(world, prober, [])
+        with pytest.raises(ValueError):
+            GranularRollout(world, prober, [("GB", "ireland")], promotions_needed=0)
+        rollout = GranularRollout(world, prober, [("GB", "ireland")])
+        with pytest.raises(ValueError):
+            rollout.run(-1)
+
+
+class TestCli:
+    def test_parse_value(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("3.5") == 3.5
+        assert _parse_value("true") is True
+        assert _parse_value("hello") == "hello"
+
+    def test_collect_overrides(self):
+        overrides = _collect_overrides(["--hours", "72", "--fast", "--hour-step", "8"])
+        assert overrides == {"hours": 72, "fast": True, "hour_step": 8}
+
+    def test_collect_rejects_stray_positional(self):
+        with pytest.raises(SystemExit):
+            _collect_overrides(["oops"])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out
+        assert "tab4" in out
+
+    def test_run_command(self, capsys):
+        assert main(["run", "fig17"]) == 0
+        out = capsys.readouterr().out
+        assert "fig17" in out
+        assert "measured=" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "Reproduce" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Tests for the from-scratch Holt-Winters forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.core.forecast import HoltWinters, forecast_day, normalized_errors
+from repro.geo.world import default_world
+from repro.workload.demand import SLOTS_PER_DAY, ConfigUniverse, DemandModel
+
+
+def _seasonal_series(periods, season=48, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    base = 100 + 50 * np.sin(2 * np.pi * np.arange(season) / season)
+    series = np.tile(base, periods)
+    if noise:
+        series = series + rng.normal(0, noise, size=series.size)
+    return series
+
+
+class TestHoltWinters:
+    def test_perfect_seasonal_signal_recovered(self):
+        series = _seasonal_series(4)
+        model = HoltWinters(season_length=48, alpha=0.3, beta=0.01, gamma=0.3)
+        forecast = model.fit(series).forecast(48)
+        expected = _seasonal_series(1)
+        assert np.allclose(forecast, expected, rtol=0.03, atol=3.0)
+
+    def test_trend_extrapolated(self):
+        season = 24
+        t = np.arange(season * 6)
+        series = 50 + 0.5 * t + 10 * np.sin(2 * np.pi * t / season)
+        model = HoltWinters(season_length=season, alpha=0.3, beta=0.05, gamma=0.3)
+        forecast = model.fit(series).forecast(season)
+        future = 50 + 0.5 * (t[-1] + 1 + np.arange(season)) + 10 * np.sin(
+            2 * np.pi * (t[-1] + 1 + np.arange(season)) / season
+        )
+        assert np.mean(np.abs(forecast - future)) < 8.0
+
+    def test_needs_two_seasons(self):
+        model = HoltWinters(season_length=48)
+        with pytest.raises(ValueError):
+            model.fit(np.ones(90))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HoltWinters(season_length=1)
+        with pytest.raises(ValueError):
+            HoltWinters(alpha=1.5)
+
+    def test_forecasts_are_non_negative(self):
+        series = np.maximum(0, _seasonal_series(4, noise=80.0, seed=2))
+        model = HoltWinters(season_length=48, alpha=0.5, beta=0.05, gamma=0.5)
+        forecast = model.fit(series).forecast(96)
+        assert np.all(forecast >= 0)
+
+    def test_grid_search_beats_or_matches_fixed(self):
+        series = _seasonal_series(4, noise=10.0, seed=3)
+        searched = HoltWinters(season_length=48).fit(series)
+        fixed = HoltWinters(season_length=48, alpha=0.1, beta=0.01, gamma=0.1).fit(series)
+        assert searched.sse <= fixed.sse + 1e-9
+
+    def test_negative_horizon_rejected(self):
+        series = _seasonal_series(3)
+        fit = HoltWinters(season_length=48, alpha=0.3, beta=0.01, gamma=0.3).fit(series)
+        with pytest.raises(ValueError):
+            fit.forecast(-1)
+
+    def test_zero_horizon(self):
+        series = _seasonal_series(3)
+        fit = HoltWinters(season_length=48, alpha=0.3, beta=0.01, gamma=0.3).fit(series)
+        assert fit.forecast(0).size == 0
+
+
+class TestNormalizedErrors:
+    def test_zero_for_perfect_prediction(self):
+        mae, rmse = normalized_errors([1, 2, 3], [1, 2, 3])
+        assert mae == 0.0
+        assert rmse == 0.0
+
+    def test_normalized_by_peak(self):
+        mae, rmse = normalized_errors([10.0, 10.0], [8.0, 12.0])
+        assert mae == pytest.approx(0.2)
+        assert rmse == pytest.approx(0.2)
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(1)
+        actual = rng.uniform(1, 100, 50)
+        predicted = actual + rng.normal(0, 10, 50)
+        mae, rmse = normalized_errors(actual, predicted)
+        assert rmse >= mae
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            normalized_errors([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            normalized_errors([], [])
+
+    def test_all_zero_series(self):
+        assert normalized_errors([0, 0], [0, 0]) == (0.0, 0.0)
+
+
+class TestDemandForecastAccuracy:
+    def test_fig20_shape_on_synthetic_demand(self):
+        """Median normalized MAE/RMSE are small for top configs (Fig 20).
+
+        The paper reports medians of 4.9% (MAE) and 10.6% (RMSE); the
+        exact numbers scale with call volume (Poisson noise), so we
+        assert the qualitative claim at a volume our test budget allows.
+        """
+        world = default_world()
+        universe = ConfigUniverse(world.europe_countries)
+        demand = DemandModel(universe, daily_calls=120_000)
+        maes, rmses = [], []
+        for item in universe.top(12):
+            history = demand.series(item.config, 0, 4 * 7 * SLOTS_PER_DAY)
+            actual = demand.series(item.config, 4 * 7 * SLOTS_PER_DAY, SLOTS_PER_DAY)
+            predicted = forecast_day(history)
+            mae, rmse = normalized_errors(actual, predicted)
+            maes.append(mae)
+            rmses.append(rmse)
+        assert np.median(maes) < 0.15
+        assert np.median(rmses) < 0.25
+        assert np.median(rmses) >= np.median(maes)

@@ -1,0 +1,88 @@
+"""Tests for pipeline helpers and the significance-aware MOS gate."""
+
+import numpy as np
+import pytest
+
+from repro.core.ecs import ArmMetrics, QualityGates, Scorecard
+from repro.core.titan_next import (
+    EUROPE_EVAL_DCS,
+    oracle_demand_for_day,
+    run_oracle_day,
+)
+from repro.geo.world import default_world
+
+
+class TestMosGate:
+    def _card_with_mos(self, treatment_mos, control_mos):
+        treatment = ArmMetrics()
+        control = ArmMetrics()
+        for value in treatment_mos:
+            treatment.observe(20.0, 0.0, mos=value)
+        for value in control_mos:
+            control.observe(20.0, 0.0, mos=value)
+        return Scorecard(treatment, control, QualityGates())
+
+    def test_large_significant_drop_fires(self):
+        rng = np.random.default_rng(1)
+        treatment = list(rng.normal(4.2, 0.1, size=200))
+        control = list(rng.normal(4.8, 0.1, size=200))
+        card = self._card_with_mos(treatment, control)
+        assert card.mos_regressed
+        assert card.moderate_regression
+
+    def test_noise_with_few_samples_does_not_fire(self):
+        # A 0.3 drop estimated from 5 noisy ratings is not significant.
+        rng = np.random.default_rng(2)
+        treatment = list(rng.normal(4.5, 0.8, size=5))
+        control = list(rng.normal(4.8, 0.8, size=5))
+        card = self._card_with_mos(treatment, control)
+        # Standard error of the difference is ~0.5, drop ~0.3: no fire.
+        assert not card.mos_regressed
+
+    def test_missing_mos_never_fires(self):
+        card = self._card_with_mos([], [4.8] * 50)
+        assert not card.mos_regressed
+
+    def test_standard_error_requires_two_samples(self):
+        arm = ArmMetrics()
+        arm.observe(20.0, 0.0, mos=4.0)
+        assert arm.mos_standard_error() is None
+        arm.observe(20.0, 0.0, mos=4.5)
+        assert arm.mos_standard_error() is not None
+
+
+class TestPipelineHelpers:
+    def test_europe_eval_dcs_exist(self):
+        world = default_world()
+        for code in EUROPE_EVAL_DCS:
+            assert world.dc(code).continent == "europe"
+
+    def test_oracle_demand_raw_mode_keeps_unreduced_configs(self, small_setup):
+        raw = oracle_demand_for_day(small_setup, day=2, reduced=False)
+        assert any(c.reduced() != c for _, c in raw)
+
+    def test_oracle_demand_reduced_mode_only_reduced(self, small_setup):
+        reduced = oracle_demand_for_day(small_setup, day=2, reduced=True)
+        assert all(c.reduced() == c for _, c in reduced)
+
+    def test_demand_mass_preserved_by_reduction(self, small_setup):
+        raw = oracle_demand_for_day(small_setup, day=2, reduced=False)
+        reduced = oracle_demand_for_day(small_setup, day=2, reduced=True)
+        raw_participants = sum(c.total_participants * n for (_, c), n in raw.items())
+        reduced_participants = sum(c.total_participants * n for (_, c), n in reduced.items())
+        assert reduced_participants == pytest.approx(raw_participants)
+
+    def test_run_oracle_day_policy_subset(self, small_setup):
+        results = run_oracle_day(small_setup, day=2, policies=("wrr",))
+        assert set(results) == {"wrr"}
+
+    def test_run_oracle_day_lf_e2e_variant_available(self, small_setup):
+        results = run_oracle_day(small_setup, day=2, policies=("lf-e2e",))
+        assert results["lf-e2e"].total_calls > 0
+
+    def test_weekend_uses_relaxed_e2e_bound(self, small_setup):
+        # Day 5 = Saturday -> E=80; day 2 = Wednesday -> E=75 (§7.5).
+        # Both must solve; the weekend bound is the looser one.
+        weekday = run_oracle_day(small_setup, day=2, policies=("titan-next",))
+        weekend = run_oracle_day(small_setup, day=5, policies=("titan-next",))
+        assert weekday["titan-next"].total_calls > weekend["titan-next"].total_calls

@@ -1,0 +1,88 @@
+"""Tests for the experiment registry and result rendering."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult, _fmt
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "tab1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig11",
+            "fig14", "tab3", "fig15", "fig16", "fig17", "fig18", "fig19",
+            "fig20", "tab4",
+        }
+        assert expected <= set(experiment_ids())
+
+    def test_ablations_registered(self):
+        ablations = {"abl-mponly", "abl-2x", "abl-e2e", "abl-ilp", "abl-split", "abl-fibercut"}
+        assert ablations <= set(experiment_ids())
+
+    def test_unknown_experiment_raises_with_suggestions(self):
+        with pytest.raises(KeyError) as excinfo:
+            run_experiment("fig99")
+        assert "fig14" in str(excinfo.value)
+
+    def test_runners_are_callable(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+    def test_cheap_experiment_runs_through_registry(self):
+        result = run_experiment("fig17")
+        assert result.experiment_id == "fig17"
+        assert result.measured
+
+
+class TestRendering:
+    def test_render_includes_measured_and_paper(self):
+        result = ExperimentResult(
+            experiment_id="x1",
+            title="Test artifact",
+            measured={"metric": 0.5, "series": [1, 2]},
+            paper={"metric": 0.6, "extra": "note"},
+            notes="caveat",
+        )
+        text = result.render()
+        assert "x1: Test artifact" in text
+        assert "measured=0.5" in text
+        assert "paper=0.6" in text
+        assert "extra" in text
+        assert "caveat" in text
+
+    def test_fmt_variants(self):
+        assert _fmt(0.123456) == "0.1235"
+        assert _fmt({"a": 1.0}) == "{a=1}"
+        assert _fmt([1, 2]) == "[1, 2]"
+        assert _fmt("s") == "s"
+
+    def test_render_without_paper_section(self):
+        result = ExperimentResult("x2", "Bare", measured={"v": 1})
+        assert "paper=" not in result.render()
+
+
+class TestJsonExport:
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        result = ExperimentResult("x3", "T", measured={"v": 1.5}, paper={"v": 2.0})
+        data = json.loads(result.to_json())
+        assert data["experiment_id"] == "x3"
+        assert data["measured"]["v"] == 1.5
+
+    def test_numpy_values_serializable(self):
+        import numpy as np
+
+        result = ExperimentResult(
+            "x4", "T", measured={"a": np.float64(1.5), "b": np.int64(3), "c": np.array([1, 2])}
+        )
+        text = result.to_json()
+        assert '"a": 1.5' in text
+
+    def test_cli_json_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig17", "--json"]) == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment_id"] == "fig17"

@@ -1,0 +1,125 @@
+"""Tests for great-circle geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.coords import (
+    EARTH_RADIUS_KM,
+    FIBER_SPEED_KM_PER_MS,
+    GeoPoint,
+    fiber_rtt_ms,
+    haversine_km,
+    midpoint,
+)
+
+lat_st = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+lon_st = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+point_st = st.builds(GeoPoint, lat=lat_st, lon=lon_st)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(48.86, 2.35)
+        assert p.lat == 48.86
+        assert p.lon == 2.35
+
+    def test_latitude_out_of_range(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_longitude_out_of_range(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 180.5)
+
+    def test_frozen(self):
+        p = GeoPoint(0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.lat = 1.0
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        p = GeoPoint(52.37, 4.90)
+        assert haversine_km(p, p) == 0.0
+
+    def test_known_distance_london_amsterdam(self):
+        london = GeoPoint(51.51, -0.13)
+        amsterdam = GeoPoint(52.37, 4.90)
+        d = haversine_km(london, amsterdam)
+        assert 340 <= d <= 380  # ~357 km
+
+    def test_known_distance_nyc_london(self):
+        nyc = GeoPoint(40.71, -74.01)
+        london = GeoPoint(51.51, -0.13)
+        d = haversine_km(nyc, london)
+        assert 5500 <= d <= 5650  # ~5570 km
+
+    def test_antipodal_bounded_by_half_circumference(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 180.0)
+        d = haversine_km(a, b)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    @given(point_st, point_st)
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a), abs=1e-9)
+
+    @given(point_st, point_st)
+    def test_non_negative_and_bounded(self, a, b):
+        d = haversine_km(a, b)
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(point_st, point_st, point_st)
+    def test_triangle_inequality(self, a, b, c):
+        ab = haversine_km(a, b)
+        bc = haversine_km(b, c)
+        ac = haversine_km(a, c)
+        assert ac <= ab + bc + 1e-6
+
+
+class TestFiberRtt:
+    def test_rtt_is_round_trip(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(0.0, 10.0)
+        d = haversine_km(a, b)
+        expected = 2.0 * d / FIBER_SPEED_KM_PER_MS
+        assert fiber_rtt_ms(a, b) == pytest.approx(expected)
+
+    def test_stretch_scales_linearly(self):
+        a = GeoPoint(10.0, 10.0)
+        b = GeoPoint(20.0, 20.0)
+        assert fiber_rtt_ms(a, b, stretch=1.5) == pytest.approx(1.5 * fiber_rtt_ms(a, b))
+
+    def test_stretch_below_one_rejected(self):
+        a = GeoPoint(0.0, 0.0)
+        b = GeoPoint(1.0, 1.0)
+        with pytest.raises(ValueError):
+            fiber_rtt_ms(a, b, stretch=0.9)
+
+    def test_transatlantic_rtt_plausible(self):
+        # NYC <-> London fiber floor is ~55 ms RTT.
+        nyc = GeoPoint(40.71, -74.01)
+        london = GeoPoint(51.51, -0.13)
+        rtt = fiber_rtt_ms(nyc, london)
+        assert 50 <= rtt <= 60
+
+
+class TestMidpoint:
+    @given(point_st, point_st)
+    def test_midpoint_roughly_equidistant(self, a, b):
+        m = midpoint(a, b)
+        da = haversine_km(a, m)
+        db = haversine_km(b, m)
+        total = haversine_km(a, b)
+        if total > 1.0:  # avoid degenerate numerical cases
+            assert da == pytest.approx(db, rel=0.05, abs=1.0)
+
+    def test_midpoint_same_point(self):
+        p = GeoPoint(45.0, 45.0)
+        m = midpoint(p, p)
+        assert m.lat == pytest.approx(45.0, abs=1e-6)
+        assert m.lon == pytest.approx(45.0, abs=1e-6)

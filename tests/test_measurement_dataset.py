@@ -1,0 +1,78 @@
+"""Tests for the measurement-data CSV export/import."""
+
+import io
+
+import pytest
+
+from repro.geo.world import default_world
+from repro.measurement.campaign import MeasurementCampaign
+from repro.measurement.dataset import (
+    CSV_COLUMNS,
+    read_records,
+    records_from_csv_string,
+    records_to_csv_string,
+    write_records,
+)
+from repro.net.latency import LatencyModel
+
+
+@pytest.fixture(scope="module")
+def records():
+    world = default_world()
+    campaign = MeasurementCampaign(
+        world, LatencyModel(world), dc_codes=["westeurope"], probes_per_country_hour=2
+    )
+    recs, _ = campaign.run(3)
+    return recs
+
+
+class TestRoundTrip:
+    def test_string_round_trip_lossless(self, records):
+        text = records_to_csv_string(records)
+        loaded = records_from_csv_string(text)
+        assert len(loaded) == len(records)
+        for a, b in zip(records, loaded):
+            assert a.hour == b.hour
+            assert a.dc_code == b.dc_code
+            assert a.option == b.option
+            assert a.rtt_ms == pytest.approx(b.rtt_ms, abs=1e-3)
+            assert a.country_code == b.country_code
+            assert a.asn == b.asn
+
+    def test_file_round_trip(self, records, tmp_path):
+        path = tmp_path / "probes.csv"
+        written = write_records(records, path)
+        assert written == len(records)
+        loaded = read_records(path)
+        assert len(loaded) == len(records)
+
+    def test_header_written(self, records):
+        text = records_to_csv_string(records[:1])
+        assert text.splitlines()[0] == ",".join(CSV_COLUMNS)
+
+    def test_loaded_records_feed_aggregation(self, records):
+        from repro.measurement.aggregate import hourly_medians_from_records
+
+        loaded = records_from_csv_string(records_to_csv_string(records))
+        medians = hourly_medians_from_records(loaded)
+        assert medians
+
+
+class TestErrors:
+    def test_empty_csv(self):
+        with pytest.raises(ValueError):
+            read_records(io.StringIO(""))
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            read_records(io.StringIO("a,b,c\n1,2,3\n"))
+
+    def test_malformed_row(self):
+        text = ",".join(CSV_COLUMNS) + "\n1,westeurope,wan\n"
+        with pytest.raises(ValueError):
+            records_from_csv_string(text)
+
+    def test_invalid_rtt_rejected_by_record(self):
+        text = ",".join(CSV_COLUMNS) + "\n1,westeurope,wan,-5.0,FR,fr-city-0,1000,1.2.3.0/24\n"
+        with pytest.raises(ValueError):
+            records_from_csv_string(text)

@@ -1,0 +1,126 @@
+"""Tests for network events: fiber cuts, transit congestion, failover."""
+
+import pytest
+
+from repro.geo.world import default_world
+from repro.net.events import EventSchedule, FiberCut, TransitCongestion, TransitSelector
+from repro.net.topology import WanTopology
+
+
+@pytest.fixture(scope="module")
+def world():
+    return default_world()
+
+
+@pytest.fixture(scope="module")
+def topology(world):
+    return WanTopology(world)
+
+
+class TestEvents:
+    def test_fiber_cut_window(self, topology):
+        link = topology.links[0]
+        cut = FiberCut(link, 10, 20)
+        assert not cut.active(9)
+        assert cut.active(10)
+        assert cut.active(19)
+        assert not cut.active(20)
+
+    def test_fiber_cut_validation(self, topology):
+        with pytest.raises(ValueError):
+            FiberCut(topology.links[0], 10, 10)
+
+    def test_congestion_validation(self):
+        with pytest.raises(ValueError):
+            TransitCongestion("westeurope", "ntt", 5, 5, 0.5)
+        with pytest.raises(ValueError):
+            TransitCongestion("westeurope", "ntt", 0, 5, -0.1)
+
+    def test_wan_capacity_factor(self, topology):
+        link = topology.links[0]
+        schedule = EventSchedule(topology, fiber_cuts=[FiberCut(link, 0, 10)])
+        assert schedule.wan_capacity_factor(link, 5) == 0.0
+        assert schedule.wan_capacity_factor(link, 15) == 1.0
+        other = topology.links[1]
+        assert schedule.wan_capacity_factor(other, 5) == 1.0
+
+
+class TestTransitSelector:
+    def test_selection_is_stable(self, world):
+        selector = TransitSelector(world)
+        first = selector.selected_transit("FR", "westeurope")
+        assert first is not None
+        assert selector.selected_transit("FR", "westeurope") == first
+
+    def test_failover_moves_to_alternate(self, world):
+        """§4.1(4d): BGP fails over to an alternative transit peer."""
+        selector = TransitSelector(world)
+        first = selector.selected_transit("FR", "westeurope")
+        second = selector.mark_failed("FR", "westeurope", first)
+        assert second is not None
+        assert second != first
+
+    def test_all_transits_failed_returns_none(self, world):
+        selector = TransitSelector(world)
+        dc = world.dc("westeurope")
+        for isp in dc.transit_isps:
+            selector.mark_failed("FR", "westeurope", isp)
+        assert selector.selected_transit("FR", "westeurope") is None
+
+    def test_restore(self, world):
+        selector = TransitSelector(world)
+        first = selector.selected_transit("FR", "westeurope")
+        selector.mark_failed("FR", "westeurope", first)
+        selector.restore("FR", "westeurope")
+        assert selector.selected_transit("FR", "westeurope") == first
+
+    def test_restore_single_isp(self, world):
+        selector = TransitSelector(world)
+        first = selector.selected_transit("FR", "westeurope")
+        selector.mark_failed("FR", "westeurope", first)
+        selector.restore("FR", "westeurope", first)
+        assert selector.selected_transit("FR", "westeurope") == first
+
+    def test_restore_noop_when_clean(self, world):
+        selector = TransitSelector(world)
+        selector.restore("FR", "westeurope")  # must not raise
+
+
+class TestOneToManyCongestion:
+    def test_congested_transit_hits_only_its_riders(self, world, topology):
+        """§4.2(6): one congested transit inflates loss on every path
+        riding it into the DC — and nothing else."""
+        selector = TransitSelector(world)
+        dc = "westeurope"
+        countries = [c.code for c in world.europe_countries]
+        target_isp = selector.selected_transit(countries[0], dc)
+        schedule = EventSchedule(
+            topology,
+            congestions=[TransitCongestion(dc, target_isp, 0, 10, extra_loss_pct=0.5)],
+        )
+        riders = [c for c in countries if selector.selected_transit(c, dc) == target_isp]
+        others = [c for c in countries if selector.selected_transit(c, dc) != target_isp]
+        assert riders and others  # both groups exist
+        for country in riders:
+            assert schedule.extra_internet_loss_pct(country, dc, 5, selector) == 0.5
+        for country in others:
+            assert schedule.extra_internet_loss_pct(country, dc, 5, selector) == 0.0
+
+    def test_inactive_outside_window(self, world, topology):
+        selector = TransitSelector(world)
+        isp = selector.selected_transit("FR", "westeurope")
+        schedule = EventSchedule(
+            topology, congestions=[TransitCongestion("westeurope", isp, 5, 10, 1.0)]
+        )
+        assert schedule.extra_internet_loss_pct("FR", "westeurope", 4, selector) == 0.0
+
+    def test_failover_escapes_congestion(self, world, topology):
+        """Titan's mitigation: steer to an alternate transit (§4.2(6))."""
+        selector = TransitSelector(world)
+        isp = selector.selected_transit("FR", "westeurope")
+        schedule = EventSchedule(
+            topology, congestions=[TransitCongestion("westeurope", isp, 0, 10, 1.0)]
+        )
+        assert schedule.extra_internet_loss_pct("FR", "westeurope", 5, selector) == 1.0
+        selector.mark_failed("FR", "westeurope", isp)
+        assert schedule.extra_internet_loss_pct("FR", "westeurope", 5, selector) == 0.0

@@ -1,0 +1,124 @@
+"""Tests for the packet-level path simulator and the jitter buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.world import default_world
+from repro.net.latency import INTERNET, WAN
+from repro.net.pathsim import PathSimulator
+from repro.telemetry.jitterbuffer import AdaptiveJitterBuffer, JitterBufferParams
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return PathSimulator(default_world())
+
+
+class TestJitterBuffer:
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            JitterBufferParams(delay_gain=0.0)
+        with pytest.raises(ValueError):
+            JitterBufferParams(min_margin_ms=200.0, max_margin_ms=100.0)
+
+    def test_constant_delay_all_played(self):
+        buffer = AdaptiveJitterBuffer()
+        send = np.arange(0, 2000, 20, dtype=float)
+        arrival = send + 30.0
+        stats = buffer.play_stream(send, arrival)
+        assert stats.late == 0
+        assert stats.played == len(send)
+
+    def test_mismatched_streams_rejected(self):
+        buffer = AdaptiveJitterBuffer()
+        with pytest.raises(ValueError):
+            buffer.play_stream([0.0, 20.0], [30.0])
+
+    def test_causality_enforced(self):
+        buffer = AdaptiveJitterBuffer()
+        with pytest.raises(ValueError):
+            buffer.play_stream([10.0], [5.0])
+
+    def test_margin_grows_with_jitter(self):
+        rng = np.random.default_rng(3)
+        send = np.arange(0, 40_000, 20, dtype=float)
+        calm = AdaptiveJitterBuffer()
+        calm.play_stream(send, send + 30.0 + rng.gamma(4.0, 0.5, size=send.size))
+        wild = AdaptiveJitterBuffer()
+        wild.play_stream(send, send + 30.0 + rng.gamma(4.0, 5.0, size=send.size))
+        assert wild.playout_margin_ms() > calm.playout_margin_ms()
+
+    def test_late_loss_small_for_gamma_jitter(self):
+        rng = np.random.default_rng(4)
+        send = np.arange(0, 60_000, 20, dtype=float)
+        arrival = send + 30.0 + rng.gamma(4.0, 1.0, size=send.size)
+        stats = AdaptiveJitterBuffer().play_stream(send, arrival)
+        assert stats.late_loss_fraction < 0.02
+
+    def test_margin_respects_bounds(self):
+        params = JitterBufferParams(min_margin_ms=7.0, max_margin_ms=50.0)
+        buffer = AdaptiveJitterBuffer(params)
+        assert buffer.playout_margin_ms() == 7.0
+        # Huge spikes cap at the interactivity budget.
+        rng = np.random.default_rng(5)
+        send = np.arange(0, 10_000, 20, dtype=float)
+        arrival = send + 30.0 + rng.gamma(1.0, 80.0, size=send.size)
+        buffer.play_stream(send, arrival)
+        assert buffer.playout_margin_ms() <= 50.0
+
+
+class TestPathSimulator:
+    def test_validation(self, simulator):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            simulator.simulate_stream("FR", "westeurope", WAN, 0, 0, rng)
+        with pytest.raises(ValueError):
+            simulator.simulate_stream("FR", "westeurope", WAN, 0, 100, rng, extra_loss_pct=-1)
+        with pytest.raises(ValueError):
+            PathSimulator(default_world(), packet_interval_ms=0)
+
+    def test_stream_recovers_slot_loss_rate(self, simulator):
+        rng = np.random.default_rng(7)
+        slot = 40
+        expected = simulator.loss.slot_loss_pct("DE", "westeurope", INTERNET, slot)
+        result = simulator.simulate_stream("DE", "westeurope", INTERNET, slot, 40_000, rng)
+        assert result.network_loss_pct == pytest.approx(expected, abs=max(0.1, expected * 0.5))
+
+    def test_extra_loss_layering(self, simulator):
+        rng = np.random.default_rng(8)
+        base = simulator.simulate_stream("FR", "westeurope", INTERNET, 10, 20_000, rng)
+        rng = np.random.default_rng(8)
+        inflated = simulator.simulate_stream(
+            "FR", "westeurope", INTERNET, 10, 20_000, rng, extra_loss_pct=2.0
+        )
+        assert inflated.network_loss_pct > base.network_loss_pct + 1.0
+
+    def test_jitter_buffer_absorbs_internet_jitter(self, simulator):
+        """§4.2(3): the Internet's extra jitter doesn't hurt playback."""
+        wan, internet = simulator.compare_options("US", "us-central", slot=12, packets=8000)
+        # Late-loss stays negligible on both options...
+        assert wan.playout.late_loss_fraction < 0.02
+        assert internet.playout.late_loss_fraction < 0.02
+        # ...at the cost of a (slightly) larger playout delay.
+        assert internet.playout.mean_buffer_delay_ms >= 0.0
+
+    def test_effective_loss_at_least_network_loss(self, simulator):
+        rng = np.random.default_rng(9)
+        result = simulator.simulate_stream("GB", "westeurope", INTERNET, 20, 10_000, rng)
+        assert result.effective_loss_pct >= result.network_loss_pct - 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    packets=st.integers(min_value=10, max_value=2000),
+    slot=st.integers(min_value=0, max_value=300),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_stream_accounting_consistent(packets, slot, seed):
+    simulator = PathSimulator(default_world())
+    rng = np.random.default_rng(seed)
+    result = simulator.simulate_stream("FR", "westeurope", INTERNET, slot, packets, rng)
+    # Played + late packets = received packets (RTP's accounting).
+    assert result.playout.total == result.rtp.received
+    assert 0.0 <= result.effective_loss_pct <= 100.0

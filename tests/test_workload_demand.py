@@ -1,0 +1,163 @@
+"""Tests for the synthetic demand process and trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.geo.world import default_world
+from repro.workload.configs import CallConfig
+from repro.workload.demand import (
+    SLOTS_PER_DAY,
+    ConfigUniverse,
+    DemandModel,
+    diurnal_factor,
+    weekday_factor,
+)
+from repro.workload.media import AUDIO
+from repro.workload.traces import Call, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def universe():
+    return ConfigUniverse(default_world().europe_countries)
+
+
+@pytest.fixture(scope="module")
+def demand(universe):
+    return DemandModel(universe, daily_calls=10_000)
+
+
+class TestSeasonality:
+    def test_diurnal_peaks_in_business_hours(self):
+        values = [diurnal_factor(s) for s in range(SLOTS_PER_DAY)]
+        peak_slot = int(np.argmax(values))
+        assert 16 <= peak_slot <= 24  # 8:00 - 12:00
+
+    def test_night_is_quiet(self):
+        assert diurnal_factor(6) < 0.25 * max(diurnal_factor(s) for s in range(SLOTS_PER_DAY))
+
+    def test_weekend_much_lower(self):
+        assert weekday_factor(5) < 0.5 * weekday_factor(2)
+        assert weekday_factor(6) < 0.5 * weekday_factor(2)
+
+    def test_weekday_factor_validates(self):
+        with pytest.raises(ValueError):
+            weekday_factor(-1)
+
+
+class TestConfigUniverse:
+    def test_nonempty_and_sorted_by_weight(self, universe):
+        demands = universe.demands
+        assert len(demands) > 100
+        weights = [d.weight for d in demands]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_coverage_monotone(self, universe):
+        assert universe.coverage(50) < universe.coverage(200) <= 1.0
+
+    def test_top_configs_cover_most_weight(self, universe):
+        # Paper: top 3,000 configs cover 90+% of calls; our scaled
+        # universe shows the same concentration.
+        assert universe.coverage(400) > 0.8
+
+    def test_intra_country_configs_dominate_top(self, universe):
+        top = universe.top(20)
+        intra = sum(1 for d in top if d.config.is_intra_country)
+        assert intra >= 15
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigUniverse([])
+
+
+class TestDemandModel:
+    def test_deterministic(self, universe):
+        m1 = DemandModel(universe, daily_calls=5000, seed=9)
+        m2 = DemandModel(universe, daily_calls=5000, seed=9)
+        config = universe.configs[0]
+        assert m1.sample_count(config, 17) == m2.sample_count(config, 17)
+
+    def test_expected_counts_integrate_to_daily_calls(self, demand, universe):
+        total = sum(
+            demand.expected_count(d.config, slot)
+            for d in universe.demands
+            for slot in range(SLOTS_PER_DAY)
+        )
+        # Day 0 is Monday (weekday factor 1.0).
+        assert total == pytest.approx(10_000, rel=0.01)
+
+    def test_weekend_demand_lower(self, demand, universe):
+        config = universe.configs[0]
+        weekday = sum(demand.expected_count(config, 2 * SLOTS_PER_DAY + s) for s in range(SLOTS_PER_DAY))
+        weekend = sum(demand.expected_count(config, 5 * SLOTS_PER_DAY + s) for s in range(SLOTS_PER_DAY))
+        assert weekend < 0.5 * weekday
+
+    def test_unknown_config_has_zero_demand(self, demand):
+        alien = CallConfig.from_counts({"US": 7}, AUDIO)
+        assert demand.expected_count(alien, 0) == 0.0
+        assert demand.sample_count(alien, 0) == 0
+
+    def test_negative_slot_rejected(self, demand, universe):
+        with pytest.raises(ValueError):
+            demand.expected_count(universe.configs[0], -1)
+
+    def test_invalid_daily_calls(self, universe):
+        with pytest.raises(ValueError):
+            DemandModel(universe, daily_calls=0)
+
+    def test_series_matches_samples(self, demand, universe):
+        config = universe.configs[0]
+        series = demand.series(config, 10, 5)
+        assert list(series) == [demand.sample_count(config, s) for s in range(10, 15)]
+
+    def test_counts_for_slot_respects_top_n(self, demand):
+        all_counts = demand.counts_for_slot(20)
+        top_counts = demand.counts_for_slot(20, top_n=10)
+        assert sum(top_counts.values()) <= sum(all_counts.values())
+
+
+class TestTraceGenerator:
+    def test_calls_match_demand_counts(self, demand):
+        generator = TraceGenerator(demand, top_n_configs=50)
+        calls = generator.calls_for_slot(20)
+        expected = sum(demand.counts_for_slot(20, top_n=50).values())
+        assert len(calls) == expected
+
+    def test_first_joiner_belongs_to_config(self, demand):
+        generator = TraceGenerator(demand, top_n_configs=50)
+        for call in generator.calls_for_slot(21):
+            assert call.first_joiner_country in call.config.countries
+
+    def test_call_ids_unique(self, demand):
+        generator = TraceGenerator(demand, top_n_configs=50)
+        calls = generator.calls_for_window(18, 3)
+        ids = [c.call_id for c in calls]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic(self, demand):
+        g1 = TraceGenerator(demand, top_n_configs=50, seed=3)
+        g2 = TraceGenerator(demand, top_n_configs=50, seed=3)
+        c1 = g1.calls_for_slot(20)
+        c2 = g2.calls_for_slot(20)
+        assert [(c.config, c.first_joiner_country) for c in c1] == [
+            (c.config, c.first_joiner_country) for c in c2
+        ]
+
+    def test_call_validation(self, demand):
+        config = CallConfig.from_counts({"DE": 2}, AUDIO)
+        with pytest.raises(ValueError):
+            Call(0, config, 0, 0, "DE")  # zero duration
+        with pytest.raises(ValueError):
+            Call(0, config, 0, 1, "FR")  # first joiner not in config
+
+    def test_active_in(self, demand):
+        config = CallConfig.from_counts({"DE": 2}, AUDIO)
+        call = Call(0, config, 10, 2, "DE")
+        assert call.active_in(10)
+        assert call.active_in(11)
+        assert not call.active_in(12)
+        assert not call.active_in(9)
+
+    def test_negative_window_rejected(self, demand):
+        generator = TraceGenerator(demand)
+        with pytest.raises(ValueError):
+            generator.calls_for_window(0, -1)
