@@ -1,8 +1,11 @@
 """Fig 15 — prediction-based sum-of-peak WAN bandwidth."""
 
+import pytest
 from conftest import emit
 
 from repro.experiments.eval_exps import run_fig15
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig15_prediction_mode(benchmark, eval_setup):

@@ -1,8 +1,11 @@
 """Fig 5 — F difference across clustering granularities."""
 
+import pytest
 from conftest import emit
 
 from repro.experiments.measurement_exps import run_fig5
+
+pytestmark = pytest.mark.slow
 
 
 def test_fig5_granularity(benchmark):

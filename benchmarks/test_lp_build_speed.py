@@ -1,0 +1,91 @@
+"""LP assembly speed — array-first build vs the scalar reference.
+
+The ISSUE-1 tentpole: on the default 150-config intra-Europe scenario
+(48 slots x 150 reduced configs x 5 DCs x 2 routing options) the
+array-first ``JointAssignmentLp.build`` + sparse HiGHS assembly must be
+at least 3x faster than the original per-term scalar path, while
+producing the same LP (same shape, same optimal objective to 1e-6).
+"""
+
+import time
+
+import pytest
+
+from repro.core.lp import JointAssignmentLp
+from repro.core.titan_next import build_europe_setup, oracle_demand_for_day
+from repro.solver.scipy_backend import PreparedHighs
+
+pytestmark = pytest.mark.slow
+
+REQUIRED_SPEEDUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def default_day():
+    """Default Europe scenario (§7.3 scale: 150 reduced configs)."""
+    setup = build_europe_setup()
+    return setup, oracle_demand_for_day(setup, day=2)
+
+
+def _best_of(fn, rounds=3):
+    """Minimum wall-clock over a few rounds (damps scheduler noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_array_first_build_is_3x_faster_with_identical_objective(default_day):
+    setup, demand = default_day
+    builder = JointAssignmentLp(setup.scenario, demand)
+
+    t_ref, (ref_lp, ref_prep) = _best_of(
+        lambda: (lambda lp: (lp, PreparedHighs(lp)))(builder.build_reference()[0])
+    )
+    t_new, (new_lp, new_prep) = _best_of(
+        lambda: (lambda lp: (lp, PreparedHighs(lp)))(builder.build()[0])
+    )
+
+    assert new_lp.num_variables == ref_lp.num_variables
+    assert new_lp.num_constraints == ref_lp.num_constraints
+
+    speedup = t_ref / t_new
+    print(
+        f"\nLP build+assemble: reference {t_ref * 1e3:.1f} ms, "
+        f"array-first {t_new * 1e3:.1f} ms -> {speedup:.1f}x "
+        f"({new_lp.num_variables} vars, {new_lp.num_constraints} constraints)"
+    )
+    assert speedup >= REQUIRED_SPEEDUP
+
+    ref_solution = ref_prep.solve()
+    new_solution = new_prep.solve()
+    assert ref_solution.status == new_solution.status == "optimal"
+    assert new_solution.objective == pytest.approx(ref_solution.objective, rel=1e-6, abs=1e-6)
+
+
+def test_plan_cache_resolve_beats_fresh_build(default_day):
+    """Re-solving the cached structure must beat build-from-scratch."""
+    from repro.core.titan_next import plan_cache_for_days
+
+    setup, demand = default_day
+    cache, demands = plan_cache_for_days(setup, [2, 3])
+
+    t_fresh, fresh = _best_of(
+        lambda: JointAssignmentLp(setup.scenario, demands[3]).solve(), rounds=2
+    )
+    t_cached, cached = _best_of(lambda: cache.solve_day(demands[3]), rounds=2)
+
+    print(
+        f"\nday solve: fresh build+solve {t_fresh * 1e3:.1f} ms, "
+        f"cached RHS-refresh+solve {t_cached * 1e3:.1f} ms"
+    )
+    assert cached.is_optimal and fresh.is_optimal
+    assert cached.objective == pytest.approx(fresh.objective, rel=1e-6, abs=1e-6)
+    # The cache removes the whole build+assembly phase; the remaining
+    # HiGHS solve dominates both paths (and the cached model covers the
+    # union structure), so allow scheduler noise around parity — the
+    # re-solve must never cost meaningfully more than build-from-scratch.
+    assert t_cached < t_fresh * 1.25

@@ -1,8 +1,11 @@
 """Table 4 — call migrations with vs without reduced call configs."""
 
+import pytest
 from conftest import emit
 
 from repro.experiments.eval_exps import run_tab4
+
+pytestmark = pytest.mark.slow
 
 
 def test_tab4_migration_reduction(benchmark, eval_setup):

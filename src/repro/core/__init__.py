@@ -11,7 +11,7 @@ from .controller import (
 )
 from .ecs import ArmMetrics, Experiment, QualityGates, Scorecard
 from .forecast import HoltWinters, forecast_day, normalized_errors
-from .lp import AssignmentTable, JointAssignmentLp, JointLpOptions, JointLpResult
+from .lp import AssignmentTable, JointAssignmentLp, JointLpOptions, JointLpResult, LpArtifacts, extract_result
 from .monitor import MonitorThresholds, RouteMonitor
 from .plan import OfflinePlan, PlanEntry
 from .replanner import ReplanEvent, RollingPlanner
@@ -33,10 +33,12 @@ from .titan import (
 from .titan_next import (
     EUROPE_EVAL_DCS,
     EuropeSetup,
+    PlanCache,
     PredictionDayResult,
     build_europe_setup,
     migration_comparison,
     oracle_demand_for_day,
+    plan_cache_for_days,
     predicted_demand_for_day,
     run_oracle_day,
     run_oracle_week,
@@ -64,6 +66,8 @@ __all__ = [
     "JointAssignmentLp",
     "JointLpOptions",
     "JointLpResult",
+    "LpArtifacts",
+    "extract_result",
     "MonitorThresholds",
     "RouteMonitor",
     "OfflinePlan",
@@ -95,10 +99,12 @@ __all__ = [
     "TitanParams",
     "EUROPE_EVAL_DCS",
     "EuropeSetup",
+    "PlanCache",
     "PredictionDayResult",
     "build_europe_setup",
     "migration_comparison",
     "oracle_demand_for_day",
+    "plan_cache_for_days",
     "predicted_demand_for_day",
     "run_oracle_day",
     "run_oracle_week",

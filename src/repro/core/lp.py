@@ -20,6 +20,14 @@ Constraints (paper numbering):
 The same builder also produces the Locality-First baseline (§7.2): same
 constraint set minus C4, with the objective replaced by total latency
 (or total max-E2E latency for the LF-E2E variant).
+
+The production :meth:`JointAssignmentLp.build` is *array-first*: it
+enumerates the LP columns once into flat index arrays, precomputes the
+per-(config, DC, option) coefficient tables (E2E latency, bandwidth,
+compute cores, link incidence), and emits every constraint family as a
+COO :class:`~repro.solver.model.ConstraintBlock` — no per-term dict
+churn, no string-keyed lookups.  The original scalar builder is kept as
+:meth:`JointAssignmentLp.build_reference` to validate equivalence.
 """
 
 from __future__ import annotations
@@ -30,12 +38,15 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..net.latency import INTERNET, ROUTING_OPTIONS, WAN
-from ..solver.model import LinearProgram, LinExpr, Solution
+from ..solver.model import ConstraintBlock, LinearProgram, LinExpr, Solution
 from ..workload.configs import CallConfig
 from .scenario import Scenario
 
 #: Assignment: (t, config, dc, option) -> number of calls (fractional).
 AssignmentTable = Dict[Tuple[int, CallConfig, str, str], float]
+
+#: Column routing options, by integer code (0 = WAN, 1 = Internet).
+_OPTIONS = (WAN, INTERNET)
 
 
 @dataclass(frozen=True)
@@ -96,6 +107,46 @@ class JointLpResult:
 
     def sum_of_peaks(self) -> float:
         return sum(self.link_peaks.values())
+
+
+@dataclass
+class LpArtifacts:
+    """Index structures tying a built LP back to the planning domain.
+
+    Column ``j`` of the LP is
+    ``(col_t[j], configs[col_cfg[j]], dc_codes[col_dc[j]], _OPTIONS[col_opt[j]])``;
+    ``c1_block.rhs`` / ``c4_block.rhs`` are the only arrays a multi-day
+    plan cache needs to mutate between solves.
+    """
+
+    configs: List[CallConfig]
+    dc_codes: List[str]
+    col_t: np.ndarray
+    col_cfg: np.ndarray
+    col_dc: np.ndarray
+    col_opt: np.ndarray
+    #: C1 row id per column (column's (t, config) demand group).
+    col_group: np.ndarray
+    #: (t, config) per C1 row, aligned with ``c1_block.rhs``.
+    groups: List[Tuple[int, CallConfig]]
+    #: First y (link-peak) variable handle; x handles are 0..n_cols-1.
+    y_base: int
+    n_links: int
+    c1_block: Optional[ConstraintBlock] = None
+    c4_block: Optional[ConstraintBlock] = None
+
+    @property
+    def n_cols(self) -> int:
+        return int(self.col_t.size)
+
+    def key_of(self, j: int) -> Tuple[int, CallConfig, str, str]:
+        """The (t, config, dc, option) tuple of column ``j``."""
+        return (
+            int(self.col_t[j]),
+            self.configs[self.col_cfg[j]],
+            self.dc_codes[self.col_dc[j]],
+            _OPTIONS[self.col_opt[j]],
+        )
 
 
 class JointAssignmentLp:
@@ -171,8 +222,260 @@ class JointAssignmentLp:
             self._pinning = pinning
         return self._pinning[config.countries[0]]
 
+    # -- array-first build ---------------------------------------------------
+
+    def _build(self) -> Tuple[LinearProgram, LpArtifacts]:
+        """Array-first LP assembly: one pass to enumerate columns, then
+        vectorized COO emission per constraint family."""
+        scenario = self.scenario
+        opts = self.options
+        configs = self.configs
+        dc_codes = scenario.dc_codes
+        n_dc = len(dc_codes)
+        dc_index = {dc: i for i, dc in enumerate(dc_codes)}
+        country_codes = scenario.country_codes
+        n_country = len(country_codes)
+        country_index = {c: i for i, c in enumerate(country_codes)}
+        n_cfg = len(configs)
+        sum_of_peaks = opts.objective == "sum_of_peaks"
+        n_links = scenario.wan_link_count if sum_of_peaks else 0
+
+        # Per-config column template: (dc index, option code) pairs, the
+        # same for every timeslot (allowed DCs/options are t-invariant).
+        tmpl_dc: List[np.ndarray] = []
+        tmpl_opt: List[np.ndarray] = []
+        for config in configs:
+            dcs, opts_codes = [], []
+            for dc in self._allowed_dcs(config):
+                for option in self._allowed_options(config, dc):
+                    dcs.append(dc_index[dc])
+                    opts_codes.append(0 if option == WAN else 1)
+            tmpl_dc.append(np.asarray(dcs, dtype=np.int64))
+            tmpl_opt.append(np.asarray(opts_codes, dtype=np.int64))
+
+        # Coefficient tables over (config, dc, option).
+        e2e = np.zeros((n_cfg, n_dc, 2))
+        total_lat = np.zeros((n_cfg, n_dc, 2))
+        cores = np.zeros(n_cfg)
+        total_bw = np.zeros(n_cfg)
+        cfg_countries: List[np.ndarray] = []  # country idx with bw > 0
+        cfg_bws: List[np.ndarray] = []  # aligned Gbps per country
+        # Link incidence per (config, dc): link ids charged by WAN
+        # routing, with the per-country bandwidth that flows over them.
+        c5_links: List[List[np.ndarray]] = []
+        c5_bws: List[List[np.ndarray]] = []
+        for ci, config in enumerate(configs):
+            cores[ci] = config.compute_cores()
+            total_bw[ci] = config.bandwidth_gbps()
+            countries, bws = [], []
+            for country, _ in config.participants:
+                bw = config.country_bandwidth_gbps(country)
+                if bw > 0:
+                    countries.append(country_index[country])
+                    bws.append(bw)
+            cfg_countries.append(np.asarray(countries, dtype=np.int64))
+            cfg_bws.append(np.asarray(bws, dtype=np.float64))
+            per_dc_links: List[np.ndarray] = []
+            per_dc_bws: List[np.ndarray] = []
+            for di, dc in enumerate(dc_codes):
+                for oi, option in enumerate(_OPTIONS):
+                    e2e[ci, di, oi] = scenario.e2e_latency_ms(config, dc, option)
+                    total_lat[ci, di, oi] = scenario.total_latency_ms(config, dc, option)
+                if sum_of_peaks:
+                    links, link_bws = [], []
+                    for ki, bw in zip(cfg_countries[ci], cfg_bws[ci]):
+                        for link_idx in scenario.link_indices(country_codes[ki], dc):
+                            links.append(link_idx)
+                            link_bws.append(bw)
+                    per_dc_links.append(np.asarray(links, dtype=np.int64))
+                    per_dc_bws.append(np.asarray(link_bws, dtype=np.float64))
+            c5_links.append(per_dc_links)
+            c5_bws.append(per_dc_bws)
+
+        # Column enumeration: one entry per (t, config, dc, option).
+        cfg_of = {config: ci for ci, config in enumerate(configs)}
+        demand_items = sorted(self.demand.items(), key=lambda kv: (kv[0][0], str(kv[0][1])))
+        groups: List[Tuple[int, CallConfig]] = [key for key, _ in demand_items]
+        counts = np.asarray([count for _, count in demand_items], dtype=np.float64)
+        t_parts, cfg_parts, dc_parts, opt_parts, group_parts = [], [], [], [], []
+        for g, ((t, config), _) in enumerate(demand_items):
+            ci = cfg_of[config]
+            width = tmpl_dc[ci].size
+            dc_parts.append(tmpl_dc[ci])
+            opt_parts.append(tmpl_opt[ci])
+            t_parts.append(np.full(width, t, dtype=np.int64))
+            cfg_parts.append(np.full(width, ci, dtype=np.int64))
+            group_parts.append(np.full(width, g, dtype=np.int64))
+        col_t = np.concatenate(t_parts)
+        col_cfg = np.concatenate(cfg_parts)
+        col_dc = np.concatenate(dc_parts)
+        col_opt = np.concatenate(opt_parts)
+        col_group = np.concatenate(group_parts)
+        n_cols = col_t.size
+
+        lp = LinearProgram("titan-next")
+        artifacts = LpArtifacts(
+            configs=list(configs),
+            dc_codes=list(dc_codes),
+            col_t=col_t,
+            col_cfg=col_cfg,
+            col_dc=col_dc,
+            col_opt=col_opt,
+            col_group=col_group,
+            groups=groups,
+            y_base=n_cols,
+            n_links=n_links,
+        )
+        cfg_strs = [str(config) for config in configs]
+        lp.add_variables(
+            n_cols,
+            namer=lambda j: (
+                f"x[{col_t[j]}][{cfg_strs[col_cfg[j]]}]"
+                f"[{dc_codes[col_dc[j]]}][{_OPTIONS[col_opt[j]]}]"
+            ),
+        )
+        if sum_of_peaks:
+            lp.add_variables(n_links, namer=lambda i: f"y[{i}]")
+
+        x_cols = np.arange(n_cols, dtype=np.int64)
+
+        # C1 — assign all calls of every (t, c).
+        artifacts.c1_block = lp.add_constraint_block(
+            col_group, x_cols, np.ones(n_cols), "==", counts, name="C1"
+        )
+
+        # C2 — per-DC compute capacity per slot.
+        c2_key = col_t * n_dc + col_dc
+        c2_uniq, c2_rows = np.unique(c2_key, return_inverse=True)
+        caps = np.asarray([scenario.compute_caps[dc] for dc in dc_codes])
+        if opts.single_dc_per_config:
+            caps = caps * opts.single_dc_cap_relax
+        lp.add_constraint_block(
+            c2_rows, x_cols, cores[col_cfg], "<=", caps[c2_uniq % n_dc], name="C2"
+        )
+
+        # C3 — Internet capacity.
+        if opts.allow_internet:
+            inet = np.nonzero(col_opt == 1)[0]
+            if inet.size:
+                factor = opts.internet_capacity_factor
+                if opts.per_pair_internet_cap:
+                    reps = np.asarray([cfg_countries[c].size for c in col_cfg[inet]])
+                    entry_cols = np.repeat(inet, reps)
+                    entry_country = np.concatenate([cfg_countries[c] for c in col_cfg[inet]])
+                    entry_vals = np.concatenate([cfg_bws[c] for c in col_cfg[inet]])
+                    entry_t = np.repeat(col_t[inet], reps)
+                    entry_dc = np.repeat(col_dc[inet], reps)
+                    key = (entry_t * n_country + entry_country) * n_dc + entry_dc
+                    uniq, rows = np.unique(key, return_inverse=True)
+                    rhs = np.asarray(
+                        [
+                            scenario.internet_cap_gbps(
+                                country_codes[(k // n_dc) % n_country], dc_codes[k % n_dc]
+                            )
+                            * factor
+                            for k in uniq
+                        ]
+                    )
+                    lp.add_constraint_block(rows, entry_cols, entry_vals, "<=", rhs, name="C3")
+                else:
+                    key = col_t[inet] * n_dc + col_dc[inet]
+                    uniq, rows = np.unique(key, return_inverse=True)
+                    per_dc_cap = np.asarray(
+                        [
+                            factor
+                            * sum(
+                                scenario.internet_cap_gbps(country, dc)
+                                for country in country_codes
+                            )
+                            for dc in dc_codes
+                        ]
+                    )
+                    lp.add_constraint_block(
+                        rows, inet, total_bw[col_cfg[inet]], "<=", per_dc_cap[uniq % n_dc], name="C3"
+                    )
+
+        # C4 — average max-E2E latency bound (Titan-Next only).
+        if sum_of_peaks:
+            artifacts.c4_block = lp.add_constraint_block(
+                np.zeros(n_cols, dtype=np.int64),
+                x_cols,
+                e2e[col_cfg, col_dc, col_opt],
+                "<=",
+                np.asarray([opts.e2e_bound_ms * counts.sum()]),
+                name="C4",
+            )
+
+        # C5 — link peaks dominate every slot's WAN load.
+        if sum_of_peaks:
+            wan = np.nonzero(col_opt == 0)[0]
+            lens = np.asarray([c5_links[c][d].size for c, d in zip(col_cfg[wan], col_dc[wan])])
+            nonzero = lens > 0
+            entry_cols = np.repeat(wan[nonzero], lens[nonzero])
+            entry_link = (
+                np.concatenate(
+                    [c5_links[c][d] for c, d in zip(col_cfg[wan[nonzero]], col_dc[wan[nonzero]])]
+                )
+                if nonzero.any()
+                else np.zeros(0, dtype=np.int64)
+            )
+            entry_vals = (
+                np.concatenate(
+                    [c5_bws[c][d] for c, d in zip(col_cfg[wan[nonzero]], col_dc[wan[nonzero]])]
+                )
+                if nonzero.any()
+                else np.zeros(0)
+            )
+            entry_t = np.repeat(col_t[wan[nonzero]], lens[nonzero])
+            key = entry_t * max(n_links, 1) + entry_link
+            uniq, rows = np.unique(key, return_inverse=True)
+            n_rows = uniq.size
+            # Each (t, link) row also gets -1 * y[link].
+            y_cols = artifacts.y_base + (uniq % max(n_links, 1))
+            lp.add_constraint_block(
+                np.concatenate([rows, np.arange(n_rows, dtype=np.int64)]),
+                np.concatenate([entry_cols, y_cols]),
+                np.concatenate([entry_vals, -np.ones(n_rows)]),
+                "<=",
+                np.zeros(n_rows),
+                name="C5",
+            )
+
+        # Objective.
+        c = np.zeros(lp.num_variables)
+        if sum_of_peaks:
+            c[artifacts.y_base : artifacts.y_base + n_links] = 1.0
+            if opts.locality_epsilon > 0:
+                c[:n_cols] += opts.locality_epsilon * total_lat[col_cfg, col_dc, col_opt]
+        elif opts.objective == "total_latency":
+            c[:n_cols] = total_lat[col_cfg, col_dc, col_opt]
+        else:  # total_e2e
+            c[:n_cols] = e2e[col_cfg, col_dc, col_opt]
+        lp.set_objective_array(c)
+        return lp, artifacts
+
     def build(self) -> Tuple[LinearProgram, Dict[Tuple[int, CallConfig, str, str], str]]:
-        """Build the LP; returns it plus the X-variable name table."""
+        """Build the LP; returns it plus the X-variable name table.
+
+        The name table exists for debugging and backward compatibility;
+        the solve path works purely on integer handles (see
+        :meth:`_build` / :class:`LpArtifacts`).
+        """
+        lp, artifacts = self._build()
+        var_names = {
+            artifacts.key_of(j): lp.variable_name(j) for j in range(artifacts.n_cols)
+        }
+        return lp, var_names
+
+    # -- reference (scalar) build -------------------------------------------
+
+    def build_reference(self) -> Tuple[LinearProgram, Dict[Tuple[int, CallConfig, str, str], str]]:
+        """The original scalar LP assembly (per-term ``add_term`` calls).
+
+        Kept as the ground truth the array-first :meth:`build` is
+        validated against (same constraint counts, same optimum); also a
+        readable rendition of the Fig 13 formulation.
+        """
         scenario = self.scenario
         opts = self.options
         lp = LinearProgram("titan-next")
@@ -228,7 +531,6 @@ class JointAssignmentLp:
             total_calls = sum(self.demand.values())
             expr = LinExpr()
             for (t, config, dc, option), var in x_vars.items():
-                count = self.demand[(t, config)]
                 expr.add_term(var, scenario.e2e_latency_ms(config, dc, option))
             lp.add_constraint(expr <= opts.e2e_bound_ms * total_calls, name="C4")
 
@@ -316,23 +618,26 @@ class JointAssignmentLp:
     # -- solve ---------------------------------------------------------------
 
     def solve(self, method: str = "highs") -> JointLpResult:
-        lp, var_names = self.build()
+        lp, artifacts = self._build()
         solution = lp.solve(method=method)
-        if not solution.is_optimal:
-            return JointLpResult(status=solution.status, objective=None, assignment={})
-        assignment: AssignmentTable = {}
-        for key, name in var_names.items():
-            value = solution.values.get(name, 0.0)
-            if value > 1e-9:
-                assignment[key] = value
-        link_peaks = {}
-        for link_idx in range(self.scenario.wan_link_count):
-            name = f"y[{link_idx}]"
-            if name in solution.values:
-                link_peaks[link_idx] = solution.values[name]
-        return JointLpResult(
-            status="optimal",
-            objective=solution.objective,
-            assignment=assignment,
-            link_peaks=link_peaks,
-        )
+        return extract_result(solution, artifacts)
+
+
+def extract_result(solution: Solution, artifacts: LpArtifacts) -> JointLpResult:
+    """Index-based extraction of a solved plan (no name round-trips)."""
+    if not solution.is_optimal:
+        return JointLpResult(status=solution.status, objective=None, assignment={})
+    x = solution.x
+    values = x[: artifacts.n_cols]
+    assignment: AssignmentTable = {}
+    for j in np.nonzero(values > 1e-9)[0]:
+        assignment[artifacts.key_of(j)] = float(values[j])
+    link_peaks = {
+        link: float(x[artifacts.y_base + link]) for link in range(artifacts.n_links)
+    }
+    return JointLpResult(
+        status="optimal",
+        objective=solution.objective,
+        assignment=assignment,
+        link_peaks=link_peaks,
+    )

@@ -193,7 +193,7 @@ def estimate_pair_traffic_gbps(
     dc_codes: Sequence[str],
     top_n_configs: Optional[int] = None,
 ) -> Dict[Tuple[str, str], float]:
-    """Typical per-(country, DC) traffic at the daily peak slot.
+    """Typical per-(country, DC) traffic at the weekly peak slot.
 
     Titan converts its per-pair offload *fractions* into Gbps capacity
     estimates by multiplying with the pair's typical traffic; this
@@ -202,7 +202,11 @@ def estimate_pair_traffic_gbps(
     """
     demands = demand.universe.top(top_n_configs) if top_n_configs else demand.universe.demands
     peak: Dict[str, float] = {c: 0.0 for c in country_codes}
-    for slot in range(SLOTS_PER_DAY):
+    # Scan a full week (like calibrate_compute_caps above): day 0 may be
+    # a low-traffic day, and a day-0-only scan would bias the Gbps
+    # estimates — and hence Titan's capacity book and the LP's C3 caps —
+    # low whenever weekly seasonality puts the peak elsewhere.
+    for slot in range(7 * SLOTS_PER_DAY):
         current: Dict[str, float] = {c: 0.0 for c in country_codes}
         for item in demands:
             count = demand.expected_count(item.config, slot)

@@ -114,6 +114,7 @@ class SplitRoutingLp:
                     lp.add_constraint(expr <= 0, name=f"ZleX[{t}][{config}][{dc}][{country}]")
 
         y_vars = {idx: lp.add_variable(f"y[{idx}]") for idx in range(scenario.wan_link_count)}
+        self._y_vars = y_vars
 
         # C1 — place every call.
         for (t, config), count in self.demand.items():
@@ -211,20 +212,21 @@ class SplitRoutingLp:
         solution = lp.solve(method=method)
         if not solution.is_optimal:
             return SplitLpResult(status=solution.status, objective=None)
+        # Extract by integer handle — variable names stay debug-only.
+        x = solution.x
         placement = {
-            key: solution.values[var.name]
+            key: float(x[var.index])
             for key, var in x_vars.items()
-            if solution.values[var.name] > 1e-9
+            if x[var.index] > 1e-9
         }
         splits = {
-            key: solution.values[var.name]
+            key: float(x[var.index])
             for key, var in z_vars.items()
-            if solution.values[var.name] > 1e-9
+            if x[var.index] > 1e-9
         }
         peaks = {
-            idx: solution.values[f"y[{idx}]"]
-            for idx in range(self.scenario.wan_link_count)
-            if f"y[{idx}]" in solution.values
+            idx: float(x[var.index])
+            for idx, var in self._y_vars.items()
         }
         return SplitLpResult(
             status="optimal",

@@ -206,11 +206,15 @@ class Titan:
             mos = self.prober.user_rating(latency, loss, rng) if i % 8 == 0 else None
             experiment.observe(user_id, latency, loss, jitter_ms=jitter, mos=mos)
         card = experiment.scorecard()
-        observed_p50 = card.treatment.p50_latency()
-        if ramp.baseline_latency_ms is None:
-            ramp.baseline_latency_ms = observed_p50
-        elif card.healthy:
-            ramp.baseline_latency_ms = 0.7 * ramp.baseline_latency_ms + 0.3 * observed_p50
+        # At tiny treatment fractions a window can end with zero
+        # treatment users; p50_latency() is then 0.0 and must not seed
+        # (or drag down) the baseline — skip the update entirely.
+        if card.treatment.count > 0:
+            observed_p50 = card.treatment.p50_latency()
+            if ramp.baseline_latency_ms is None:
+                ramp.baseline_latency_ms = observed_p50
+            elif card.healthy:
+                ramp.baseline_latency_ms = 0.7 * ramp.baseline_latency_ms + 0.3 * observed_p50
         return card
 
     def _transition(self, ramp: PairRamp, card: Scorecard, rng: np.random.Generator) -> None:

@@ -19,7 +19,7 @@ Two evaluation harnesses mirror the paper's two modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -39,7 +39,7 @@ from .controller import (
     TitanNextController,
 )
 from .forecast import forecast_day
-from .lp import AssignmentTable, JointAssignmentLp, JointLpOptions
+from .lp import AssignmentTable, JointAssignmentLp, JointLpOptions, JointLpResult, extract_result
 from .plan import OfflinePlan
 from .policies import LocalityFirstPolicy, TitanNextPolicy, TitanPolicy, WrrPolicy
 from .scenario import Scenario, calibrate_compute_caps, estimate_pair_traffic_gbps
@@ -162,6 +162,97 @@ def predicted_demand_for_day(
 
 
 # ---------------------------------------------------------------------------
+# Plan cache: reusable LP structure for multi-day planning
+# ---------------------------------------------------------------------------
+
+
+class PlanCache:
+    """Reusable Titan-Next LP for multi-day / forecast-sweep planning.
+
+    The Fig 13 LP's constraint *structure* (columns, the C1/C2/C3/C5
+    coefficient matrix, the C4 latency row) depends only on the config
+    universe, the scenario, and the slot grid — day to day, only the C1
+    demand counts and the C4 bound change, and both live purely in the
+    right-hand side.  The cache builds the column structure and the
+    assembled HiGHS matrices once, then re-solves each day after an
+    O(rows) RHS refresh — which is what makes week-long oracle sweeps
+    (Fig 14/18) and forecast sweeps affordable at production scale.
+
+    Days whose demand covers only a subset of the cached configs are
+    fine: C1 pins the missing columns to zero.  ``single_dc_per_config``
+    is rejected because its pinning depends on the demand itself.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        configs: Sequence[CallConfig],
+        slots: Optional[Sequence[int]] = None,
+        options: Optional[JointLpOptions] = None,
+    ) -> None:
+        self.options = options if options is not None else JointLpOptions()
+        if self.options.objective != "sum_of_peaks":
+            raise ValueError("PlanCache supports the sum-of-peaks (Titan-Next) objective only")
+        if self.options.single_dc_per_config:
+            raise ValueError("PlanCache cannot cache demand-dependent single-DC pinning")
+        self.scenario = scenario
+        slot_list = list(slots) if slots is not None else list(range(scenario.slots_per_day))
+        placeholder = {(t, c): 1.0 for t in slot_list for c in configs}
+        builder = JointAssignmentLp(scenario, placeholder, self.options)
+        self._lp, self._artifacts = builder._build()
+        self._group_index = {key: g for g, key in enumerate(self._artifacts.groups)}
+        from ..solver.scipy_backend import PreparedHighs
+
+        self._prepared = PreparedHighs(self._lp)
+        self.solves = 0
+
+    @property
+    def num_variables(self) -> int:
+        return self._lp.num_variables
+
+    @property
+    def num_constraints(self) -> int:
+        return self._lp.num_constraints
+
+    def solve_day(
+        self,
+        demand: Mapping[Tuple[int, CallConfig], float],
+        e2e_bound_ms: Optional[float] = None,
+    ) -> JointLpResult:
+        """Solve one day's plan by refreshing the RHS and re-solving."""
+        counts = np.zeros(len(self._artifacts.groups))
+        for key, value in demand.items():
+            if value <= 0:
+                continue
+            group = self._group_index.get(key)
+            if group is None:
+                raise KeyError(
+                    f"demand key {key} is outside the cached structure; "
+                    "rebuild the PlanCache with a covering config/slot set"
+                )
+            counts[group] += value
+        bound = e2e_bound_ms if e2e_bound_ms is not None else self.options.e2e_bound_ms
+        self._artifacts.c1_block.rhs[:] = counts
+        self._artifacts.c4_block.rhs[0] = bound * counts.sum()
+        self.solves += 1
+        return extract_result(self._prepared.solve(), self._artifacts)
+
+
+def plan_cache_for_days(
+    setup: EuropeSetup,
+    days: Sequence[int],
+    options: Optional[JointLpOptions] = None,
+) -> Tuple[PlanCache, Dict[int, Dict[Tuple[int, CallConfig], float]]]:
+    """A :class:`PlanCache` covering the oracle demand of several days.
+
+    Returns the cache plus the per-day demand tables used to size it.
+    """
+    demands = {day: oracle_demand_for_day(setup, day) for day in days}
+    configs = sorted({c for table in demands.values() for _, c in table}, key=str)
+    return PlanCache(setup.scenario, configs, options=options), demands
+
+
+# ---------------------------------------------------------------------------
 # Oracle evaluation (§7)
 # ---------------------------------------------------------------------------
 
@@ -171,17 +262,23 @@ def run_oracle_day(
     day: int,
     policies: Optional[Sequence[str]] = None,
     lp_options: Optional[JointLpOptions] = None,
+    plan_cache: Optional[PlanCache] = None,
+    demand: Optional[Dict[Tuple[int, CallConfig], float]] = None,
 ):
     """Run the §7 oracle comparison for one day.
 
-    Returns ``{policy name: EvaluationResult}``.
+    Returns ``{policy name: EvaluationResult}``.  When ``plan_cache`` is
+    given, Titan-Next re-solves the cached LP structure (RHS refresh
+    only) instead of rebuilding the model from scratch.
     """
     from ..analysis.metrics import evaluate_assignment
 
-    demand = oracle_demand_for_day(setup, day)
+    if demand is None:
+        demand = oracle_demand_for_day(setup, day)
     weekend = day % 7 >= 5
+    e2e_bound_ms = 80.0 if weekend else 75.0
     if lp_options is None:
-        lp_options = JointLpOptions(e2e_bound_ms=80.0 if weekend else 75.0)
+        lp_options = JointLpOptions(e2e_bound_ms=e2e_bound_ms)
     registry = {
         "wrr": lambda: WrrPolicy(setup.scenario),
         "titan": lambda: TitanPolicy(setup.scenario),
@@ -192,8 +289,23 @@ def run_oracle_day(
     chosen = policies if policies is not None else ("wrr", "titan", "lf", "titan-next")
     results = {}
     for name in chosen:
-        policy = registry[name]()
-        assignment = policy.assign(demand)
+        if name == "titan-next" and plan_cache is not None:
+            # Only the (per-day) E2E bound may differ from the cached
+            # options — every other field is baked into the cached
+            # structure and silently diverging would return plans that
+            # violate the caller's request.
+            if replace(lp_options, e2e_bound_ms=plan_cache.options.e2e_bound_ms) != plan_cache.options:
+                raise ValueError(
+                    "lp_options differ from the PlanCache's options in more than "
+                    "e2e_bound_ms; rebuild the cache with the desired options"
+                )
+            solved = plan_cache.solve_day(demand, e2e_bound_ms=lp_options.e2e_bound_ms)
+            if not solved.is_optimal:
+                raise RuntimeError(f"Titan-Next cached LP failed: {solved.status}")
+            assignment = solved.assignment
+        else:
+            policy = registry[name]()
+            assignment = policy.assign(demand)
         results[name] = evaluate_assignment(setup.scenario, assignment, name)
     return results
 
@@ -203,14 +315,25 @@ def run_oracle_week(
     start_day: int = 2,
     days: int = 7,
     policies: Optional[Sequence[str]] = None,
+    use_plan_cache: bool = True,
 ):
     """The Fig 14 experiment: one week, all policies, per-day results.
 
     ``start_day=2`` makes the week start on Wednesday like Fig 14.
+    With ``use_plan_cache`` (the default) the Titan-Next LP structure is
+    built once for the whole week and only its RHS changes per day.
     """
+    day_range = range(start_day, start_day + days)
+    chosen = policies if policies is not None else ("wrr", "titan", "lf", "titan-next")
+    cache: Optional[PlanCache] = None
+    demands: Dict[int, Dict[Tuple[int, CallConfig], float]] = {}
+    if use_plan_cache and "titan-next" in chosen and days > 0:
+        cache, demands = plan_cache_for_days(setup, list(day_range))
     return {
-        day: run_oracle_day(setup, day, policies=policies)
-        for day in range(start_day, start_day + days)
+        day: run_oracle_day(
+            setup, day, policies=policies, plan_cache=cache, demand=demands.get(day)
+        )
+        for day in day_range
     }
 
 

@@ -1,83 +1,145 @@
 """HiGHS backend: solve :class:`LinearProgram` via scipy.optimize.linprog.
 
 This is the production backend for Titan-Next's LP (tens of thousands of
-variables); constraint matrices are assembled sparse.
+variables).  Constraint matrices are assembled sparse: scalar
+constraints are walked row by row, while :class:`ConstraintBlock` COO
+triplets are concatenated wholesale — no per-term Python loops.
+
+:class:`PreparedHighs` splits assembly from solving: the matrix
+structure (A_ub / A_eq / bounds / objective) is built once and frozen,
+while the right-hand sides are re-read from the program on every
+:meth:`PreparedHighs.solve`.  Multi-day planners mutate block ``rhs``
+arrays in place and re-solve without re-paying assembly.
 """
 
 from __future__ import annotations
+
+from typing import List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
-from .model import EQ, GE, LE, LinearProgram, Solution
+from .model import EQ, GE, LE, ConstraintBlock, LinearProgram, Solution
 
 
-def _assemble(lp: LinearProgram):
-    n = lp.num_variables
-    c = np.zeros(n)
-    for idx, coeff in lp.objective.coeffs.items():
-        c[idx] += coeff
+class PreparedHighs:
+    """A :class:`LinearProgram` assembled for repeated HiGHS solves."""
 
-    ub_rows, ub_cols, ub_vals, b_ub = [], [], [], []
-    eq_rows, eq_cols, eq_vals, b_eq = [], [], [], []
+    def __init__(self, lp: LinearProgram) -> None:
+        self.lp = lp
+        n = lp.num_variables
+        self.c = lp.objective_vector()
 
-    for constraint in lp.constraints:
-        items = list(constraint.expr.coeffs.items())
-        rhs = constraint.rhs
-        if constraint.sense == EQ:
-            row = len(b_eq)
-            for idx, coeff in items:
-                eq_rows.append(row)
-                eq_cols.append(idx)
-                eq_vals.append(coeff)
-            b_eq.append(rhs)
-        else:
-            sign = 1.0 if constraint.sense == LE else -1.0
-            row = len(b_ub)
-            for idx, coeff in items:
-                ub_rows.append(row)
-                ub_cols.append(idx)
-                ub_vals.append(sign * coeff)
-            b_ub.append(sign * rhs)
+        ub_rows: List[np.ndarray] = []
+        ub_cols: List[np.ndarray] = []
+        ub_vals: List[np.ndarray] = []
+        eq_rows: List[np.ndarray] = []
+        eq_cols: List[np.ndarray] = []
+        eq_vals: List[np.ndarray] = []
+        #: (kind, row offset, source) per RHS contributor, where source
+        #: is a scalar Constraint or a ConstraintBlock; used to refresh
+        #: b_ub / b_eq without touching the matrix.
+        self._rhs_sources: List[Tuple[str, int, object]] = []
+        n_ub = 0
+        n_eq = 0
 
-    a_ub = (
-        sparse.csr_matrix((ub_vals, (ub_rows, ub_cols)), shape=(len(b_ub), n))
-        if b_ub
-        else None
-    )
-    a_eq = (
-        sparse.csr_matrix((eq_vals, (eq_rows, eq_cols)), shape=(len(b_eq), n))
-        if b_eq
-        else None
-    )
-    bounds = [(v.lower, v.upper) for v in lp.variables]
-    return c, a_ub, (np.array(b_ub) if b_ub else None), a_eq, (np.array(b_eq) if b_eq else None), bounds
+        for constraint in lp.constraints:
+            items = constraint.expr.coeffs
+            cols = np.fromiter(items.keys(), dtype=np.int64, count=len(items))
+            vals = np.fromiter(items.values(), dtype=np.float64, count=len(items))
+            if constraint.sense == EQ:
+                eq_rows.append(np.full(cols.size, n_eq, dtype=np.int64))
+                eq_cols.append(cols)
+                eq_vals.append(vals)
+                self._rhs_sources.append(("eq", n_eq, constraint))
+                n_eq += 1
+            else:
+                sign = 1.0 if constraint.sense == LE else -1.0
+                ub_rows.append(np.full(cols.size, n_ub, dtype=np.int64))
+                ub_cols.append(cols)
+                ub_vals.append(sign * vals)
+                self._rhs_sources.append(("ub", n_ub, constraint))
+                n_ub += 1
+
+        for block in lp.constraint_blocks:
+            if block.sense == EQ:
+                eq_rows.append(block.rows + n_eq)
+                eq_cols.append(block.cols)
+                eq_vals.append(block.vals)
+                self._rhs_sources.append(("eq", n_eq, block))
+                n_eq += block.num_rows
+            else:
+                sign = 1.0 if block.sense == LE else -1.0
+                ub_rows.append(block.rows + n_ub)
+                ub_cols.append(block.cols)
+                ub_vals.append(sign * block.vals)
+                self._rhs_sources.append(("ub", n_ub, block))
+                n_ub += block.num_rows
+
+        self.n_ub = n_ub
+        self.n_eq = n_eq
+        self.a_ub = (
+            sparse.csr_matrix(
+                (np.concatenate(ub_vals), (np.concatenate(ub_rows), np.concatenate(ub_cols))),
+                shape=(n_ub, n),
+            )
+            if n_ub
+            else None
+        )
+        self.a_eq = (
+            sparse.csr_matrix(
+                (np.concatenate(eq_vals), (np.concatenate(eq_rows), np.concatenate(eq_cols))),
+                shape=(n_eq, n),
+            )
+            if n_eq
+            else None
+        )
+        lowers, uppers = lp.bounds_arrays()
+        self.bounds = np.column_stack([lowers, uppers]) if n else None
+
+    def _rhs_vectors(self) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Re-read right-hand sides from the (possibly mutated) program."""
+        b_ub = np.zeros(self.n_ub) if self.n_ub else None
+        b_eq = np.zeros(self.n_eq) if self.n_eq else None
+        for kind, offset, source in self._rhs_sources:
+            target = b_eq if kind == "eq" else b_ub
+            sign = -1.0 if source.sense == GE else 1.0
+            if isinstance(source, ConstraintBlock):
+                target[offset : offset + source.num_rows] = sign * source.rhs
+            else:
+                target[offset] = sign * source.rhs
+        return b_ub, b_eq
+
+    def solve(self) -> Solution:
+        """Solve with current RHS values (matrix structure reused)."""
+        lp = self.lp
+        b_ub, b_eq = self._rhs_vectors()
+        result = linprog(
+            self.c,
+            A_ub=self.a_ub,
+            b_ub=b_ub,
+            A_eq=self.a_eq,
+            b_eq=b_eq,
+            bounds=self.bounds,
+            method="highs",
+        )
+        if result.status == 2:
+            return Solution(status="infeasible", objective=None, iterations=int(result.nit))
+        if result.status == 3:
+            return Solution(status="unbounded", objective=None, iterations=int(result.nit))
+        if not result.success:
+            return Solution(status="error", objective=None, iterations=int(getattr(result, "nit", 0)))
+        objective = float(result.fun) + lp.objective_constant
+        return Solution(
+            status="optimal",
+            objective=objective,
+            iterations=int(result.nit),
+            x=np.asarray(result.x, dtype=np.float64),
+            name_of=lp.variable_name,
+        )
 
 
 def solve_highs(lp: LinearProgram) -> Solution:
     """Solve with SciPy's HiGHS dual simplex / IPM."""
-    c, a_ub, b_ub, a_eq, b_eq, bounds = _assemble(lp)
-    result = linprog(
-        c,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq,
-        b_eq=b_eq,
-        bounds=bounds,
-        method="highs",
-    )
-    if result.status == 2:
-        return Solution(status="infeasible", objective=None, iterations=int(result.nit))
-    if result.status == 3:
-        return Solution(status="unbounded", objective=None, iterations=int(result.nit))
-    if not result.success:
-        return Solution(status="error", objective=None, iterations=int(getattr(result, "nit", 0)))
-    values = {var.name: float(result.x[var.index]) for var in lp.variables}
-    objective = float(result.fun) + lp.objective.constant
-    return Solution(
-        status="optimal",
-        objective=objective,
-        values=values,
-        iterations=int(result.nit),
-    )
+    return PreparedHighs(lp).solve()

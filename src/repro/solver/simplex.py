@@ -15,6 +15,10 @@ upper bounds.  Phase 1 minimizes the sum of artificial variables to
 find a basic feasible solution; phase 2 continues from that basis with
 the real objective (artificials kept at zero via a large penalty).
 Bland's rule guarantees termination.
+
+Constraint rows are consumed through
+:meth:`LinearProgram.iter_constraint_rows`, so scalar constraints and
+COO :class:`~repro.solver.model.ConstraintBlock` batches both work.
 """
 
 from __future__ import annotations
@@ -37,31 +41,28 @@ def _standard_form(lp: LinearProgram) -> Tuple[np.ndarray, np.ndarray, np.ndarra
     ``c0`` is the constant objective offset induced by the shift.
     """
     n = lp.num_variables
-    lowers = np.array([v.lower for v in lp.variables]) if n else np.zeros(0)
+    lowers, uppers = lp.bounds_arrays()
     rows: List[np.ndarray] = []
     senses: List[str] = []
     rhs: List[float] = []
 
-    for constraint in lp.constraints:
+    for cols, vals, sense, b in lp.iter_constraint_rows():
         row = np.zeros(n)
-        for idx, coeff in constraint.expr.coeffs.items():
-            row[idx] += coeff
+        np.add.at(row, cols, vals)
         rows.append(row)
-        senses.append(constraint.sense)
-        rhs.append(constraint.rhs - float(row @ lowers))
+        senses.append(sense)
+        rhs.append(b - float(row @ lowers))
 
-    for var in lp.variables:
-        if var.upper is not None:
+    for index in range(n):
+        if np.isfinite(uppers[index]):
             row = np.zeros(n)
-            row[var.index] = 1.0
+            row[index] = 1.0
             rows.append(row)
             senses.append(LE)
-            rhs.append(var.upper - var.lower)
+            rhs.append(uppers[index] - lowers[index])
 
-    c = np.zeros(n)
-    for idx, coeff in lp.objective.coeffs.items():
-        c[idx] += coeff
-    c0 = lp.objective.constant + float(c @ lowers)
+    c = lp.objective_vector()
+    c0 = lp.objective_constant + float(c @ lowers)
 
     m = len(rows)
     slack_count = sum(1 for s in senses if s in (LE, GE))
@@ -127,18 +128,24 @@ def solve_simplex(lp: LinearProgram, max_iter: int = 50_000) -> Solution:
     """Solve an LP with the bundled two-phase dense simplex."""
     A, b, c, c0, n_structural = _standard_form(lp)
     m, n = A.shape
+    lowers, uppers = lp.bounds_arrays()
 
     if m == 0:
-        # No constraints: minimum is at the lower bounds (all-zero shift).
-        values = {v.name: v.lower for v in lp.variables}
-        assignment = [values[v.name] for v in lp.variables]
-        negative_cost = [v for v in lp.variables if lp.objective.coeffs.get(v.index, 0.0) < 0]
-        for var in negative_cost:
-            if var.upper is None:
+        # No constraints: minimum is at the lower bounds, except for
+        # negative-cost variables which run to their upper bound (or to
+        # infinity, making the problem unbounded).
+        x = lowers.copy()
+        c_dense = lp.objective_vector()
+        for index in np.nonzero(c_dense < 0)[0]:
+            if not np.isfinite(uppers[index]):
                 return Solution(status="unbounded", objective=None)
-            values[var.name] = var.upper
-        assignment = [values[v.name] for v in lp.variables]
-        return Solution(status="optimal", objective=lp.objective.value(assignment), values=values)
+            x[index] = uppers[index]
+        return Solution(
+            status="optimal",
+            objective=lp.objective_value(x),
+            x=x,
+            name_of=lp.variable_name,
+        )
 
     # Phase 1: identity basis of artificial variables.
     A1 = np.hstack([A, np.eye(m)])
@@ -158,17 +165,16 @@ def solve_simplex(lp: LinearProgram, max_iter: int = 50_000) -> Solution:
     if status != "optimal":
         return Solution(status=status, objective=None, iterations=it1 + it2)
 
-    x = np.zeros(n + m)
-    x[basis] = tableau[:, -1]
-    if np.any(x[n:] > 1e-6):
+    x_std = np.zeros(n + m)
+    x_std[basis] = tableau[:, -1]
+    if np.any(x_std[n:] > 1e-6):
         return Solution(status="infeasible", objective=None, iterations=it1 + it2)
 
-    lowers = np.array([v.lower for v in lp.variables])
-    values = {
-        var.name: float(x[var.index] + lowers[var.index]) for var in lp.variables
-    }
-    assignment = [values[v.name] for v in lp.variables]
-    objective = lp.objective.value(assignment)
+    x = x_std[:n_structural] + lowers
     return Solution(
-        status="optimal", objective=float(objective), values=values, iterations=it1 + it2
+        status="optimal",
+        objective=lp.objective_value(x),
+        iterations=it1 + it2,
+        x=x,
+        name_of=lp.variable_name,
     )

@@ -169,6 +169,7 @@ class TestFirstJoinerBaselines:
                 assert assignment.final_option == WAN
 
 
+@pytest.mark.slow
 class TestPredictionPipeline:
     def test_predicted_demand_shape(self, small_setup):
         predicted = predicted_demand_for_day(small_setup, day=30)

@@ -243,6 +243,43 @@ class TestTitanRamp:
         assert len(titan.ramps[("GB", "westeurope")].history) == 5
 
 
+class TestEmptyTreatmentBaseline:
+    """Regression: an empty treatment arm must never touch the latency
+    baseline (p50 of an empty arm is 0.0, which would poison the EWMA)."""
+
+    def test_empty_window_does_not_seed_baseline(self, world, prober):
+        params = TitanParams(users_per_eval=0)  # every window is empty
+        titan = Titan(world, prober, [("GB", "westeurope")], params=params)
+        titan.evaluate_all()
+        ramp = titan.ramps[("GB", "westeurope")]
+        assert ramp.baseline_latency_ms is None
+
+    def test_empty_window_does_not_drag_baseline_down(self, world, prober):
+        params = TitanParams(users_per_eval=0)
+        titan = Titan(world, prober, [("GB", "westeurope")], params=params)
+        ramp = titan.ramps[("GB", "westeurope")]
+        ramp.baseline_latency_ms = 30.0
+        titan.evaluate_all()
+        assert ramp.baseline_latency_ms == pytest.approx(30.0)
+
+    def test_populated_window_seeds_positive_baseline(self, world, prober):
+        titan = Titan(world, prober, [("GB", "westeurope")])
+        titan.evaluate_all()
+        ramp = titan.ramps[("GB", "westeurope")]
+        assert ramp.baseline_latency_ms is not None
+        assert ramp.baseline_latency_ms > 0.0
+
+    def test_scorecard_empty_treatment_arm_is_inert(self):
+        """An all-control scorecard reports no regressions at all."""
+        card = Scorecard(ArmMetrics(), ArmMetrics(), QualityGates(), latency_baseline_ms=25.0)
+        assert card.treatment.count == 0
+        assert card.treatment.p50_latency() == 0.0
+        assert not card.latency_regressed
+        assert not card.moderate_regression
+        assert not card.severe_regression
+        assert card.healthy
+
+
 class TestRouteMonitor:
     def test_loss_threshold_triggers_failback(self, world):
         monitor = RouteMonitor(world, LatencyModel(world), LossModel(world))

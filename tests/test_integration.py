@@ -18,8 +18,13 @@ from repro.core.titan import SyntheticPathProber, Titan
 from repro.core.titan_next import EUROPE_EVAL_DCS, EuropeSetup, oracle_demand_for_day, run_prediction_day
 from repro.geo.world import default_world
 from repro.net.latency import INTERNET, WAN, LatencyModel
+
 from repro.net.loss import LossModel
 from repro.workload.demand import ConfigUniverse, DemandModel
+
+# Full closed-loop runs (Titan probing + LP planning + live control)
+# dominate the suite's wall-clock; keep them out of the fast loop.
+pytestmark = pytest.mark.slow
 
 
 @pytest.fixture(scope="module")

@@ -177,6 +177,7 @@ class TestGranularity:
         )
         assert summary["city"]["p50"] < summary["asn"]["p50"]
 
+    @pytest.mark.slow
     def test_granularity_differences_bounded(self, model):
         """Fig 5: country-level clustering is good enough (D small)."""
         countries = ["US", "GB", "FR", "PL", "IT", "ES", "SE", "CH"]
