@@ -52,6 +52,54 @@ class FitResult:
         return np.maximum(0.0, values)
 
 
+@dataclass
+class FitManyResult:
+    """Fitted Holt-Winters state for a whole batch of series.
+
+    Arrays are aligned with the rows of the matrix passed to
+    :meth:`HoltWinters.fit_many`; ``seasonals`` is ``(n, m)``.
+    """
+
+    alpha: np.ndarray
+    beta: np.ndarray
+    gamma: np.ndarray
+    level: np.ndarray
+    trend: np.ndarray
+    seasonals: np.ndarray
+    season_length: int
+    sse: np.ndarray
+    fitted_steps: int
+
+    @property
+    def n_series(self) -> int:
+        return int(self.level.size)
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Out-of-sample forecasts, ``(n, horizon)``, clipped at 0."""
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        steps = np.arange(1, horizon + 1)
+        idx = (self.fitted_steps + steps - 1) % self.season_length
+        values = (
+            self.level[:, None] + steps[None, :] * self.trend[:, None] + self.seasonals[:, idx]
+        )
+        return np.maximum(0.0, values)
+
+    def result(self, i: int) -> FitResult:
+        """The batch row ``i`` as a scalar :class:`FitResult`."""
+        return FitResult(
+            float(self.alpha[i]),
+            float(self.beta[i]),
+            float(self.gamma[i]),
+            float(self.level[i]),
+            float(self.trend[i]),
+            self.seasonals[i].copy(),
+            self.season_length,
+            float(self.sse[i]),
+            self.fitted_steps,
+        )
+
+
 class HoltWinters:
     """Additive Holt-Winters smoother with optional grid search."""
 
@@ -74,19 +122,29 @@ class HoltWinters:
 
     # -- initialization ----------------------------------------------------
 
-    def _initial_state(self, x: np.ndarray) -> Tuple[float, float, np.ndarray]:
+    def _initial_state_many(
+        self, x: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Initial (level, trend, seasonals) for a batch ``(n, T)``.
+
+        Vectorized over both series and season slots: one reshape plus
+        axis means replaces the O(season_length × seasons) Python loop.
+        """
         m = self.season_length
-        seasons = len(x) // m
-        level = float(np.mean(x[:m]))
+        seasons = x.shape[1] // m
+        whole = x[:, : seasons * m].reshape(x.shape[0], seasons, m)
+        season_means = whole.mean(axis=2)
+        level = season_means[:, 0]
         if seasons >= 2:
-            trend = float((np.mean(x[m : 2 * m]) - np.mean(x[:m])) / m)
+            trend = (season_means[:, 1] - season_means[:, 0]) / m
         else:
-            trend = 0.0
-        seasonals = np.zeros(m)
-        for i in range(m):
-            vals = [x[k * m + i] - np.mean(x[k * m : (k + 1) * m]) for k in range(seasons)]
-            seasonals[i] = float(np.mean(vals))
+            trend = np.zeros(x.shape[0])
+        seasonals = (whole - season_means[:, :, None]).mean(axis=1)
         return level, trend, seasonals
+
+    def _initial_state(self, x: np.ndarray) -> Tuple[float, float, np.ndarray]:
+        level, trend, seasonals = self._initial_state_many(np.asarray(x, dtype=float)[None, :])
+        return float(level[0]), float(trend[0]), seasonals[0]
 
     def _run(self, x: np.ndarray, alpha: float, beta: float, gamma: float) -> FitResult:
         m = self.season_length
@@ -115,17 +173,82 @@ class HoltWinters:
             raise ValueError(
                 f"need at least two seasons of data ({2 * self.season_length}), got {len(x)}"
             )
+        best: Optional[FitResult] = None
+        for alpha, beta, gamma in self._grid():
+            result = self._run(x, alpha, beta, gamma)
+            if best is None or result.sse < best.sse:
+                best = result
+        assert best is not None
+        return best
+
+    def _grid(self) -> List[Tuple[float, float, float]]:
+        """The (alpha, beta, gamma) combinations ``fit`` searches."""
         alphas = [self.alpha] if self.alpha is not None else [0.1, 0.3, 0.5]
         betas = [self.beta] if self.beta is not None else [0.01, 0.05]
         gammas = [self.gamma] if self.gamma is not None else [0.1, 0.3, 0.5]
-        best: Optional[FitResult] = None
-        for alpha in alphas:
-            for beta in betas:
-                for gamma in gammas:
-                    result = self._run(x, alpha, beta, gamma)
-                    if best is None or result.sse < best.sse:
-                        best = result
-        assert best is not None
+        return [(a, b, g) for a in alphas for b in betas for g in gammas]
+
+    # -- batched fitting ---------------------------------------------------
+
+    def _run_many(self, x: np.ndarray, alpha: float, beta: float, gamma: float) -> FitManyResult:
+        """One smoothing pass over all series at once.
+
+        The time loop is unavoidable (each step feeds the next), but
+        every update inside it is a vector operation over the batch —
+        level/trend are ``(n,)`` and the seasonal state is ``(n, m)``.
+        """
+        n, steps = x.shape
+        m = self.season_length
+        level, trend, seasonals = self._initial_state_many(x)
+        level = level.copy()
+        trend = trend.copy()
+        seasonals = seasonals.copy()
+        sse = np.zeros(n)
+        for t in range(steps):
+            value = x[:, t]
+            season_idx = t % m
+            season = seasonals[:, season_idx]
+            error = value - (level + trend + season)
+            sse += error * error
+            new_level = alpha * (value - season) + (1 - alpha) * (level + trend)
+            trend = beta * (new_level - level) + (1 - beta) * trend
+            seasonals[:, season_idx] = gamma * (value - new_level) + (1 - gamma) * season
+            level = new_level
+        full = lambda v: np.full(n, v)
+        return FitManyResult(full(alpha), full(beta), full(gamma), level, trend, seasonals, m, sse, steps)
+
+    def fit_many(self, series_matrix) -> FitManyResult:
+        """Fit every row of an ``(n, T)`` history matrix in one batch.
+
+        Equivalent to calling :meth:`fit` per row (same initialization,
+        same recurrences, same grid search picking the per-series SSE
+        minimizer) but with one time-loop over vector states for the
+        whole batch — the §6.1(2) per-config forecasting pipeline at
+        array speed.
+        """
+        x = np.asarray(series_matrix, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"series matrix must be 2-D, got shape {x.shape}")
+        if x.shape[1] < 2 * self.season_length:
+            raise ValueError(
+                f"need at least two seasons of data ({2 * self.season_length}), got {x.shape[1]}"
+            )
+        grid = self._grid()
+        if x.shape[0] == 0:
+            empty = np.zeros(0)
+            return FitManyResult(
+                empty, empty, empty, empty, empty,
+                np.zeros((0, self.season_length)), self.season_length, empty, x.shape[1],
+            )
+        best = self._run_many(x, *grid[0])
+        for alpha, beta, gamma in grid[1:]:
+            result = self._run_many(x, alpha, beta, gamma)
+            better = result.sse < best.sse
+            if not better.any():
+                continue
+            for name in ("alpha", "beta", "gamma", "level", "trend", "sse"):
+                getattr(best, name)[better] = getattr(result, name)[better]
+            best.seasonals[better] = result.seasonals[better]
         return best
 
 

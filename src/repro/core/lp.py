@@ -37,6 +37,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..geo.world import stable_hash
 from ..net.latency import INTERNET, ROUTING_OPTIONS, WAN
 from ..solver.model import ConstraintBlock, LinearProgram, LinExpr, Solution
 from ..workload.configs import CallConfig
@@ -47,6 +48,11 @@ AssignmentTable = Dict[Tuple[int, CallConfig, str, str], float]
 
 #: Column routing options, by integer code (0 = WAN, 1 = Internet).
 _OPTIONS = (WAN, INTERNET)
+
+
+def _tie_break_unit(config: CallConfig, dc: str, option: str) -> float:
+    """Deterministic pseudo-random unit value keyed on column identity."""
+    return stable_hash(f"{config}|{dc}|{option}") / 2.0**32
 
 
 @dataclass(frozen=True)
@@ -82,12 +88,30 @@ class JointLpOptions:
     #: inflating migrations and latency for no peak benefit.  The
     #: epsilon breaks those ties toward nearby DCs.
     locality_epsilon: float = 1e-6
+    #: Content-keyed perturbation (sum-of-peaks objective only) that
+    #: makes the optimal vertex unique: each (config, DC, option)
+    #: column gets a pseudo-random cost in [0, tie_break_epsilon) keyed
+    #: on its identity, so exactly-tied columns (equal latencies, e.g.
+    #: symmetric DCs or audio/video twins) no longer span a degenerate
+    #: optimal face.  A unique optimum is what lets a warm-started
+    #: cached plan (``PlanCache``) reproduce a freshly built LP's plan
+    #: bit-for-bit.  Keyed on content, not column index, so it is
+    #: identical across cached and per-day structures.  Sized well
+    #: below the locality term at typical inter-DC latency gaps (1 ms
+    #: of locality outweighs the whole tie-break range) so it decides
+    #: ties and sub-millisecond near-ties only — larger values scatter
+    #: configs to hash-preferred DCs and inflate migrations — while
+    #: staying above the solver's 1e-7 dual tolerance, below which the
+    #: perturbation would be ignored and the optimum non-unique again.
+    tie_break_epsilon: float = 1e-6
 
     def __post_init__(self) -> None:
         if self.e2e_bound_ms <= 0:
             raise ValueError("e2e_bound_ms must be positive")
         if self.internet_capacity_factor < 0:
             raise ValueError("internet_capacity_factor must be non-negative")
+        if self.tie_break_epsilon < 0:
+            raise ValueError("tie_break_epsilon must be non-negative")
         if self.objective not in ("sum_of_peaks", "total_latency", "total_e2e"):
             raise ValueError(f"unknown objective: {self.objective}")
 
@@ -256,6 +280,7 @@ class JointAssignmentLp:
         # Coefficient tables over (config, dc, option).
         e2e = np.zeros((n_cfg, n_dc, 2))
         total_lat = np.zeros((n_cfg, n_dc, 2))
+        tie_break = np.zeros((n_cfg, n_dc, 2))
         cores = np.zeros(n_cfg)
         total_bw = np.zeros(n_cfg)
         cfg_countries: List[np.ndarray] = []  # country idx with bw > 0
@@ -281,6 +306,7 @@ class JointAssignmentLp:
                 for oi, option in enumerate(_OPTIONS):
                     e2e[ci, di, oi] = scenario.e2e_latency_ms(config, dc, option)
                     total_lat[ci, di, oi] = scenario.total_latency_ms(config, dc, option)
+                    tie_break[ci, di, oi] = _tie_break_unit(config, dc, option)
                 if sum_of_peaks:
                     links, link_bws = [], []
                     for ki, bw in zip(cfg_countries[ci], cfg_bws[ci]):
@@ -447,6 +473,8 @@ class JointAssignmentLp:
             c[artifacts.y_base : artifacts.y_base + n_links] = 1.0
             if opts.locality_epsilon > 0:
                 c[:n_cols] += opts.locality_epsilon * total_lat[col_cfg, col_dc, col_opt]
+            if opts.tie_break_epsilon > 0:
+                c[:n_cols] += opts.tie_break_epsilon * tie_break[col_cfg, col_dc, col_opt]
         elif opts.objective == "total_latency":
             c[:n_cols] = total_lat[col_cfg, col_dc, col_opt]
         else:  # total_e2e
@@ -564,6 +592,11 @@ class JointAssignmentLp:
                 for (t, config, dc, option), var in x_vars.items():
                     objective.add_term(
                         var, opts.locality_epsilon * scenario.total_latency_ms(config, dc, option)
+                    )
+            if opts.tie_break_epsilon > 0:
+                for (t, config, dc, option), var in x_vars.items():
+                    objective.add_term(
+                        var, opts.tie_break_epsilon * _tie_break_unit(config, dc, option)
                     )
         elif opts.objective == "total_latency":
             for (t, config, dc, option), var in x_vars.items():

@@ -42,7 +42,11 @@ def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
     dlat = lat2 - lat1
     dlon = lon2 - lon1
     h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
-    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+    h = min(1.0, h)
+    # atan2 instead of asin(sqrt(h)): asin's derivative blows up as
+    # h -> 1, losing enough precision near antipodal points to violate
+    # the triangle inequality by metres.
+    return 2.0 * EARTH_RADIUS_KM * math.atan2(math.sqrt(h), math.sqrt(1.0 - h))
 
 
 def fiber_rtt_ms(a: GeoPoint, b: GeoPoint, stretch: float = 1.0) -> float:

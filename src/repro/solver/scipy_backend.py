@@ -10,6 +10,14 @@ structure (A_ub / A_eq / bounds / objective) is built once and frozen,
 while the right-hand sides are re-read from the program on every
 :meth:`PreparedHighs.solve`.  Multi-day planners mutate block ``rhs``
 arrays in place and re-solve without re-paying assembly.
+
+With ``reuse_basis=True`` the prepared program is additionally kept hot
+inside a persistent HiGHS instance (SciPy's vendored ``highspy``
+bindings): RHS refreshes become in-place row-bound updates on the live
+model, and each re-solve hot-starts the dual simplex from the previous
+optimal basis instead of solving from scratch — the warm-start path the
+multi-day plan caches use.  When the bindings are unavailable the flag
+degrades gracefully to the plain ``linprog`` path.
 """
 
 from __future__ import annotations
@@ -23,11 +31,25 @@ from scipy.optimize import linprog
 from .model import EQ, GE, LE, ConstraintBlock, LinearProgram, Solution
 
 
+def _highs_core():
+    """SciPy's vendored highspy bindings, or None when unavailable."""
+    try:
+        from scipy.optimize._highspy import _core  # type: ignore[attr-defined]
+    except Exception:  # pragma: no cover - depends on the SciPy build
+        return None
+    return _core if hasattr(_core, "_Highs") else None
+
+
 class PreparedHighs:
     """A :class:`LinearProgram` assembled for repeated HiGHS solves."""
 
-    def __init__(self, lp: LinearProgram) -> None:
+    def __init__(self, lp: LinearProgram, reuse_basis: bool = False) -> None:
         self.lp = lp
+        #: Solve through a persistent HiGHS instance that keeps the
+        #: previous optimal basis (falls back to linprog when the
+        #: bindings are missing).
+        self.reuse_basis = reuse_basis
+        self._session = None
         n = lp.num_variables
         self.c = lp.objective_vector()
 
@@ -111,9 +133,105 @@ class PreparedHighs:
                 target[offset] = sign * source.rhs
         return b_ub, b_eq
 
+    # -- persistent (warm-started) solving ---------------------------------
+
+    def _row_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(row_lower, row_upper) for the stacked [A_ub; A_eq] rows."""
+        b_ub, b_eq = self._rhs_vectors()
+        lower = np.full(self.n_ub + self.n_eq, -np.inf)
+        upper = np.full(self.n_ub + self.n_eq, np.inf)
+        if b_ub is not None:
+            upper[: self.n_ub] = b_ub
+        if b_eq is not None:
+            lower[self.n_ub :] = b_eq
+            upper[self.n_ub :] = b_eq
+        return lower, upper
+
+    def _open_session(self, core) -> None:
+        """Pass the frozen structure to a fresh HiGHS instance once."""
+        blocks = [m for m in (self.a_ub, self.a_eq) if m is not None]
+        matrix = sparse.vstack(blocks).tocsc() if blocks else None
+        row_lower, row_upper = self._row_bounds()
+
+        model = core.HighsLp()
+        model.num_col_ = self.lp.num_variables
+        model.num_row_ = self.n_ub + self.n_eq
+        model.col_cost_ = np.asarray(self.c, dtype=np.float64)
+        lowers, uppers = self.lp.bounds_arrays()
+        # kHighsInf is IEEE infinity, so ±inf bounds pass through as-is.
+        model.col_lower_ = np.asarray(lowers, dtype=np.float64)
+        model.col_upper_ = np.asarray(uppers, dtype=np.float64)
+        model.row_lower_ = row_lower
+        model.row_upper_ = row_upper
+        if matrix is not None:
+            a = core.HighsSparseMatrix()
+            a.format_ = core.MatrixFormat.kColwise
+            a.num_col_ = self.lp.num_variables
+            a.num_row_ = matrix.shape[0]
+            a.start_ = matrix.indptr.astype(np.int64)
+            a.index_ = matrix.indices.astype(np.int64)
+            a.value_ = matrix.data.astype(np.float64)
+            model.a_matrix_ = a
+        highs = core._Highs()
+        highs.setOptionValue("output_flag", False)
+        if highs.passModel(model) != core.HighsStatus.kOk:
+            raise RuntimeError("HiGHS rejected the prepared model")
+        self._session = (highs, row_lower, row_upper)
+
+    def _solve_persistent(self, core) -> Solution:
+        """Refresh row bounds on the live model and hot-start the solve.
+
+        HiGHS keeps the incumbent basis across ``changeRowBounds``
+        calls, so a re-solve after an RHS refresh starts the dual
+        simplex from the previous day's optimal basis.
+        """
+        if self._session is None:
+            self._open_session(core)
+        else:
+            highs, sent_lower, sent_upper = self._session
+            row_lower, row_upper = self._row_bounds()
+            changed = np.nonzero(
+                (row_lower != sent_lower) | (row_upper != sent_upper)
+            )[0]
+            # The vendored bindings expose no batch row-bound setter
+            # (only changeColsBounds), so changed rows go one by one;
+            # a full C1 refresh is a few thousand cheap calls.
+            for row in changed:
+                highs.changeRowBounds(int(row), float(row_lower[row]), float(row_upper[row]))
+            self._session = (highs, row_lower, row_upper)
+        highs = self._session[0]
+        highs.run()
+        status = highs.getModelStatus()
+        iterations = int(highs.getInfo().simplex_iteration_count)
+        if status == core.HighsModelStatus.kInfeasible:
+            return Solution(status="infeasible", objective=None, iterations=iterations)
+        if status == core.HighsModelStatus.kUnbounded:
+            return Solution(status="unbounded", objective=None, iterations=iterations)
+        if status != core.HighsModelStatus.kOptimal:
+            return Solution(status="error", objective=None, iterations=iterations)
+        x = np.asarray(highs.getSolution().col_value, dtype=np.float64)
+        return Solution(
+            status="optimal",
+            objective=float(highs.getObjectiveValue()) + self.lp.objective_constant,
+            iterations=iterations,
+            x=x,
+            name_of=self.lp.variable_name,
+        )
+
     def solve(self) -> Solution:
         """Solve with current RHS values (matrix structure reused)."""
         lp = self.lp
+        if self.reuse_basis and lp.num_variables:
+            core = _highs_core()
+            if core is not None:
+                try:
+                    return self._solve_persistent(core)
+                except Exception:
+                    # The vendored bindings are a private API; if their
+                    # surface drifted, degrade to linprog permanently
+                    # rather than failing the solve.
+                    self.reuse_basis = False
+                    self._session = None
         b_ub, b_eq = self._rhs_vectors()
         result = linprog(
             self.c,

@@ -9,6 +9,12 @@ day-to-day noise so that forecasting is non-trivial.
 
 Counts are Poisson-sampled deterministically per (seed, config, slot),
 so any window of the demand process can be regenerated independently.
+The sampler is counter-based: each config owns one Philox stream keyed
+on ``(seed, stable_hash(config))``, slot ``s`` owns a fixed block of
+that stream, and counts are drawn by inverting the Poisson CDF on the
+slot's uniform — so a whole ``(configs, slots)`` window is one batched
+array computation (:meth:`DemandModel.counts_matrix`) and the scalar
+APIs are thin views of the same stream.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import special
 
 from ..geo.world import Country, World, stable_hash
 from .configs import CallConfig
@@ -46,6 +53,59 @@ INTER_SIZE_WEIGHTS: Dict[Tuple[int, ...], float] = {
     (3, 1): 0.05,
     (2, 1, 1): 0.02,
 }
+
+
+#: Philox advances its counter in blocks of four 64-bit words; reserving
+#: one block per slot makes slot ``s`` of a config's stream addressable
+#: as ``advance(s)`` regardless of which window is being generated.
+_WORDS_PER_SLOT = 4
+
+#: Rates at or below this invert the Poisson CDF by walking the pmf
+#: recurrence (vectorized, ~lam iterations); larger rates — where
+#: ``exp(-lam)`` heads toward underflow and the walk gets long — invert
+#: via the regularized incomplete gamma (``scipy.special.pdtrik``).
+_SMALL_LAMBDA = 128.0
+
+
+def _poisson_from_uniform(u: np.ndarray, lam: np.ndarray) -> np.ndarray:
+    """Poisson inverse-CDF sampling: smallest ``k`` with ``u < CDF(k)``.
+
+    Inverse-transform sampling from pre-drawn uniforms makes each count
+    a pure function of ``(u, lam)``, which is what lets any demand
+    window be regenerated independently of how it is batched.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    lam = np.asarray(lam, dtype=np.float64)
+    out = np.zeros(lam.shape, dtype=np.int64)
+    small = lam <= _SMALL_LAMBDA
+    if small.any():
+        ls = lam[small]
+        us = u[small]
+        pmf = np.exp(-ls)
+        cdf = pmf.copy()
+        counts = np.zeros(ls.shape, dtype=np.int64)
+        unresolved = us >= cdf
+        # Past lam + 12*sqrt(lam) the residual tail mass is below the
+        # resolution of a 53-bit uniform; the cap also guards against
+        # the accumulated CDF rounding to just under a u close to 1.
+        peak = float(ls.max())
+        k_max = int(math.ceil(peak + 12.0 * math.sqrt(peak) + 20.0))
+        k = 0
+        while k < k_max and unresolved.any():
+            k += 1
+            counts += unresolved
+            pmf *= ls / k
+            cdf += pmf
+            unresolved &= us >= cdf
+        out[small] = counts
+    large = ~small
+    if large.any():
+        ll = lam[large]
+        ul = u[large]
+        vals = np.ceil(special.pdtrik(ul, ll))
+        vals1 = np.maximum(vals - 1.0, 0.0)
+        out[large] = np.where(special.pdtr(vals1, ll) >= ul, vals1, vals).astype(np.int64)
+    return out
 
 
 def diurnal_factor(slot_of_day: int) -> float:
@@ -93,6 +153,9 @@ class ConfigUniverse:
         self.countries = list(countries)
         self.seed = seed
         self._demands = self._build(max_international_pairs)
+        # Cumulative weights, cached once: coverage() is an O(1) lookup
+        # instead of an O(n) rescan of the whole ranked list per call.
+        self._cum_weights = np.cumsum([d.weight for d in self._demands])
 
     def _build(self, max_pairs: int) -> List[ConfigDemand]:
         demands: List[ConfigDemand] = []
@@ -142,8 +205,10 @@ class ConfigUniverse:
 
     def coverage(self, n: int) -> float:
         """Fraction of total call weight covered by the top n configs."""
-        total = sum(d.weight for d in self._demands)
-        return sum(d.weight for d in self._demands[:n]) / total
+        if n <= 0:
+            return 0.0
+        n = min(n, len(self._demands))
+        return float(self._cum_weights[n - 1] / self._cum_weights[-1])
 
 
 class DemandModel:
@@ -153,6 +218,12 @@ class DemandModel:
     forecaster could learn); ``sample_count`` adds Poisson noise plus a
     per-day demand shock shared across configs (news days, holidays),
     which is what makes Holt-Winters' job realistic.
+
+    The batch APIs (:meth:`expected_matrix`, :meth:`counts_matrix`)
+    produce whole ``(n_configs, n_slots)`` windows as single array
+    computations; the scalar APIs delegate to the same uniform stream
+    and inverse-CDF, so every consumer sees one consistent sample
+    stream no matter how it slices the process.
     """
 
     def __init__(
@@ -170,16 +241,61 @@ class DemandModel:
         self.seed = seed
         total = sum(d.weight for d in universe.demands)
         self._rates = {d.config: d.weight / total for d in universe.demands}
+        #: Per-config rate array aligned with ``universe.demands`` order.
+        self._rate_arr = np.asarray([d.weight for d in universe.demands]) / total
+        self._diurnal = np.asarray([diurnal_factor(s) for s in range(SLOTS_PER_DAY)])
+        self._weekday = np.asarray([weekday_factor(d) for d in range(7)])
         # Normalize diurnal shape so rates integrate to daily_calls.
-        self._diurnal_norm = sum(diurnal_factor(s) for s in range(SLOTS_PER_DAY))
+        self._diurnal_norm = float(self._diurnal.sum())
+        self._philox_keys: Dict[CallConfig, np.ndarray] = {}
 
-    def _config_rng(self, config: CallConfig, *labels: int) -> np.random.Generator:
-        return np.random.default_rng((self.seed, stable_hash(str(config)), *labels))
+    # -- the per-config counter-based uniform stream -----------------------
+
+    def _philox_key(self, config: CallConfig) -> np.ndarray:
+        key = self._philox_keys.get(config)
+        if key is None:
+            key = np.array(
+                [np.uint64(self.seed & 0xFFFFFFFFFFFFFFFF), np.uint64(stable_hash(str(config)))],
+                dtype=np.uint64,
+            )
+            self._philox_keys[config] = key
+        return key
+
+    def _config_uniforms(self, config: CallConfig, start_slot: int, slots: int) -> np.ndarray:
+        """Slot-addressed uniforms of one config's Philox stream."""
+        bit_generator = np.random.Philox(key=self._philox_key(config))
+        if start_slot:
+            bit_generator.advance(start_slot)
+        draws = np.random.Generator(bit_generator).random(_WORDS_PER_SLOT * slots)
+        return draws[::_WORDS_PER_SLOT]
+
+    def _slot_shape(self, start_slot: int, slots: int) -> np.ndarray:
+        """Diurnal × weekday factor per slot in the window."""
+        s = np.arange(start_slot, start_slot + slots)
+        return (self._diurnal[s % SLOTS_PER_DAY] / self._diurnal_norm) * self._weekday[
+            (s // SLOTS_PER_DAY) % 7
+        ]
+
+    def _top(self, top_n: Optional[int]) -> List[ConfigDemand]:
+        return self.universe.top(top_n) if top_n is not None else self.universe.demands
 
     def day_shock(self, day: int) -> float:
         """Market-wide demand multiplier for a day (shared across configs)."""
         rng = np.random.default_rng((self.seed, 0xD45, day))
         return float(np.exp(rng.normal(0.0, self.day_shock_sigma)))
+
+    def day_shocks(self, start_day: int, days: int) -> np.ndarray:
+        """``day_shock`` for a run of days, as an array."""
+        return np.asarray([self.day_shock(start_day + d) for d in range(days)])
+
+    def _slot_shocks(self, start_slot: int, slots: int) -> np.ndarray:
+        """Per-slot day shock for the window (shared across configs)."""
+        days = np.arange(start_slot, start_slot + slots) // SLOTS_PER_DAY
+        first = int(days[0]) if slots else 0
+        per_day = self.day_shocks(first, int(days[-1]) - first + 1) if slots else np.zeros(0)
+        return per_day[days - first]
+
+    # -- expectations ------------------------------------------------------
 
     def expected_count(self, config: CallConfig, slot: int) -> float:
         """Deterministic expected calls for (config, slot)."""
@@ -189,28 +305,71 @@ class DemandModel:
         if rate is None:
             return 0.0
         day = slot // SLOTS_PER_DAY
-        slot_of_day = slot % SLOTS_PER_DAY
-        shape = diurnal_factor(slot_of_day) / self._diurnal_norm
-        return self.daily_calls * rate * shape * weekday_factor(day % 7)
+        shape = self._diurnal[slot % SLOTS_PER_DAY] / self._diurnal_norm
+        return float((self.daily_calls * rate) * (shape * self._weekday[day % 7]))
+
+    def expected_matrix(
+        self, start_slot: int, slots: int, top_n: Optional[int] = None
+    ) -> np.ndarray:
+        """Expected calls for a whole window: ``(n_configs, slots)``.
+
+        Rows follow ``universe.top(top_n)`` order; entry ``[i, j]``
+        equals ``expected_count(configs[i], start_slot + j)`` exactly.
+        """
+        if start_slot < 0:
+            raise ValueError("start_slot must be non-negative")
+        if slots < 0:
+            raise ValueError("slots must be non-negative")
+        n = len(self._top(top_n))
+        scaled = self.daily_calls * self._rate_arr[:n]
+        return scaled[:, None] * self._slot_shape(start_slot, slots)[None, :]
+
+    # -- sampling ----------------------------------------------------------
+
+    def counts_matrix(
+        self, start_slot: int, slots: int, top_n: Optional[int] = None
+    ) -> np.ndarray:
+        """Sampled counts for a whole window: int64 ``(n_configs, slots)``.
+
+        Entry ``[i, j]`` equals ``sample_count(configs[i],
+        start_slot + j)`` — the scalar APIs are views of this stream.
+        """
+        lam = self.expected_matrix(start_slot, slots, top_n) * self._slot_shocks(
+            start_slot, slots
+        )[None, :]
+        demands = self._top(top_n)
+        uniforms = np.empty((len(demands), slots))
+        for i, demand in enumerate(demands):
+            uniforms[i] = self._config_uniforms(demand.config, start_slot, slots)
+        return _poisson_from_uniform(uniforms, lam)
 
     def sample_count(self, config: CallConfig, slot: int) -> int:
         """Poisson-sampled calls for (config, slot), deterministic."""
         lam = self.expected_count(config, slot) * self.day_shock(slot // SLOTS_PER_DAY)
         if lam <= 0:
             return 0
-        rng = self._config_rng(config, slot)
-        return int(rng.poisson(lam))
+        u = self._config_uniforms(config, slot, 1)
+        return int(_poisson_from_uniform(u, np.asarray([lam]))[0])
 
     def counts_for_slot(self, slot: int, top_n: Optional[int] = None) -> Dict[CallConfig, int]:
         """Sampled counts for every (top_n) config in one slot."""
-        demands = self.universe.top(top_n) if top_n else self.universe.demands
-        counts = {}
-        for demand in demands:
-            n = self.sample_count(demand.config, slot)
-            if n > 0:
-                counts[demand.config] = n
-        return counts
+        demands = self._top(top_n)
+        counts = self.counts_matrix(slot, 1, top_n)[:, 0]
+        return {
+            demands[i].config: int(count) for i, count in enumerate(counts) if count > 0
+        }
 
     def series(self, config: CallConfig, start_slot: int, slots: int) -> np.ndarray:
         """Sampled demand time series for one config."""
-        return np.array([self.sample_count(config, s) for s in range(start_slot, start_slot + slots)])
+        if start_slot < 0:
+            raise ValueError("start_slot must be non-negative")
+        rate = self._rates.get(config)
+        if rate is None:
+            return np.zeros(slots, dtype=np.int64)
+        lam = (
+            (self.daily_calls * rate)
+            * self._slot_shape(start_slot, slots)
+            * self._slot_shocks(start_slot, slots)
+        )
+        u = self._config_uniforms(config, start_slot, slots)
+        return _poisson_from_uniform(u, lam)

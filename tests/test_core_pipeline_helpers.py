@@ -8,6 +8,8 @@ from repro.core.titan_next import (
     EUROPE_EVAL_DCS,
     oracle_demand_for_day,
     run_oracle_day,
+    run_prediction_day,
+    run_prediction_sweep,
 )
 from repro.geo.world import default_world
 
@@ -86,3 +88,27 @@ class TestPipelineHelpers:
         weekday = run_oracle_day(small_setup, day=2, policies=("titan-next",))
         weekend = run_oracle_day(small_setup, day=5, policies=("titan-next",))
         assert weekday["titan-next"].total_calls > weekend["titan-next"].total_calls
+
+
+class TestPredictionSweep:
+    def test_sweep_day_equals_fresh_prediction_day(self, small_setup):
+        """The cached, warm-started sweep replays run_prediction_day."""
+        sweep = run_prediction_sweep(small_setup, [30])
+        fresh = run_prediction_day(small_setup, 30, policies=("titan-next",))["titan-next"]
+        cached = sweep[30]
+        assert cached.stats == fresh.stats
+        assert [(a.call.call_id, a.final_dc, a.final_option) for a in cached.assignments] == [
+            (a.call.call_id, a.final_dc, a.final_option) for a in fresh.assignments
+        ]
+
+    def test_sweep_covers_weekend_bound(self, small_setup):
+        # Day 33 is a Saturday: the sweep must apply the relaxed bound
+        # and still produce a plan for every requested day.
+        results = run_prediction_sweep(small_setup, [32, 33])
+        assert set(results) == {32, 33}
+        for result in results.values():
+            assert result.stats is not None and result.stats.calls > 0
+
+    def test_sweep_needs_days(self, small_setup):
+        with pytest.raises(ValueError):
+            run_prediction_sweep(small_setup, [])

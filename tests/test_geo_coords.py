@@ -78,7 +78,11 @@ class TestHaversine:
         ab = haversine_km(a, b)
         bc = haversine_km(b, c)
         ac = haversine_km(a, c)
-        assert ac <= ab + bc + 1e-6
+        # Relative slack: near-antipodal colinear triples satisfy the
+        # inequality with exact equality, and 1-h loses ~1e-11 relative
+        # precision there — a purely absolute 1e-6 km bound is tighter
+        # than double-precision haversine can honour at 20,000 km.
+        assert ac <= ab + bc + 1e-8 * (ab + bc) + 1e-6
 
 
 class TestFiberRtt:

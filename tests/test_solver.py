@@ -172,6 +172,92 @@ class TestSolving:
         assert lp.solve(method="auto").objective == pytest.approx(3.0)
 
 
+class TestPersistentHighs:
+    """PreparedHighs(reuse_basis=True): hot model + basis reuse."""
+
+    def _program(self):
+        """Mixed senses, a block, bounds, and an objective constant."""
+        import numpy as np
+
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=10.0)
+        y = lp.add_variable("y")
+        z = lp.add_variable("z", lower=1.0)
+        lp.add_constraint(x + y <= 8)
+        lp.add_constraint(y + z >= 3)
+        block = lp.add_constraint_block(
+            np.array([0, 0, 1]),
+            np.array([x.index, z.index, y.index]),
+            np.array([1.0, 1.0, 1.0]),
+            "==",
+            np.array([6.0, 2.0]),
+            name="B",
+        )
+        lp.set_objective(2 * x + 1 * y + 3 * z + 5)
+        return lp, block
+
+    def test_matches_linprog_solution(self):
+        import numpy as np
+        from repro.solver.scipy_backend import PreparedHighs, _highs_core
+
+        lp, _ = self._program()
+        cold = PreparedHighs(lp).solve()
+        persistent = PreparedHighs(lp, reuse_basis=True)
+        warm = persistent.solve()
+        if _highs_core() is not None:
+            # The persistent session must actually engage — otherwise
+            # the warm-start path silently regresses to the fallback.
+            assert persistent._session is not None
+        assert cold.status == warm.status == "optimal"
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-9, abs=1e-9)
+        np.testing.assert_allclose(warm.x, cold.x, rtol=1e-9, atol=1e-9)
+        assert warm["x"] == pytest.approx(cold["x"])
+
+    def test_rhs_refresh_re_solves_hot_model(self):
+        from repro.solver.scipy_backend import PreparedHighs, _highs_core
+
+        lp, block = self._program()
+        prepared = PreparedHighs(lp, reuse_basis=True)
+        first = prepared.solve()
+        assert first.is_optimal
+        if _highs_core() is not None:
+            session = prepared._session
+            assert session is not None
+        # Mutate the block RHS in place, as the plan caches do.
+        block.rhs[0] = 7.5
+        second = prepared.solve()
+        fresh = PreparedHighs(lp).solve()
+        assert second.is_optimal
+        if _highs_core() is not None:
+            # Still the same hot HiGHS instance after the RHS refresh.
+            assert prepared._session is not None
+            assert prepared._session[0] is session[0]
+        assert second.objective == pytest.approx(fresh.objective, rel=1e-9, abs=1e-9)
+        # And back: the session must not remember stale bounds.
+        block.rhs[0] = 6.0
+        third = prepared.solve()
+        assert third.objective == pytest.approx(first.objective, rel=1e-9, abs=1e-9)
+
+    def test_infeasible_status(self):
+        from repro.solver.scipy_backend import PreparedHighs
+
+        lp = LinearProgram()
+        a = lp.add_variable("a")
+        lp.add_constraint(a <= 1)
+        lp.add_constraint(a >= 2)
+        lp.set_objective(a._expr())
+        assert PreparedHighs(lp, reuse_basis=True).solve().status == "infeasible"
+
+    def test_falls_back_without_bindings(self, monkeypatch):
+        import repro.solver.scipy_backend as backend
+
+        monkeypatch.setattr(backend, "_highs_core", lambda: None)
+        lp, _ = self._program()
+        solution = backend.PreparedHighs(lp, reuse_basis=True).solve()
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(backend.PreparedHighs(lp).solve().objective)
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     c=st.lists(st.floats(min_value=0.1, max_value=10), min_size=3, max_size=3),

@@ -115,6 +115,107 @@ class TestDemandModel:
         assert sum(top_counts.values()) <= sum(all_counts.values())
 
 
+class TestBatchDemand:
+    """The array engine and its scalar views sample one stream."""
+
+    def test_counts_matrix_matches_scalar_samples(self, demand, universe):
+        matrix = demand.counts_matrix(17, 4, top_n=12)
+        assert matrix.shape == (12, 4)
+        for i, item in enumerate(universe.top(12)):
+            for j in range(4):
+                assert matrix[i, j] == demand.sample_count(item.config, 17 + j)
+
+    def test_expected_matrix_matches_scalar(self, demand, universe):
+        matrix = demand.expected_matrix(100, 6, top_n=8)
+        for i, item in enumerate(universe.top(8)):
+            for j in range(6):
+                assert matrix[i, j] == demand.expected_count(item.config, 100 + j)
+
+    def test_series_is_a_counts_matrix_row(self, demand, universe):
+        matrix = demand.counts_matrix(40, 10, top_n=5)
+        for i, item in enumerate(universe.top(5)):
+            assert np.array_equal(demand.series(item.config, 40, 10), matrix[i])
+
+    def test_windows_are_independent(self, demand):
+        """Any window regenerates the same counts, however it is cut."""
+        whole = demand.counts_matrix(0, 60, top_n=6)
+        assert np.array_equal(whole[:, 25:40], demand.counts_matrix(25, 15, top_n=6))
+        stitched = np.concatenate(
+            [demand.counts_matrix(s, 20, top_n=6) for s in (0, 20, 40)], axis=1
+        )
+        assert np.array_equal(whole, stitched[:, :60])
+
+    def test_counts_for_slot_matches_matrix(self, demand, universe):
+        counts = demand.counts_for_slot(20, top_n=30)
+        matrix = demand.counts_matrix(20, 1, top_n=30)[:, 0]
+        for i, item in enumerate(universe.top(30)):
+            assert counts.get(item.config, 0) == matrix[i]
+        assert all(v > 0 for v in counts.values())
+
+    def test_day_shocks_matches_day_shock(self, demand):
+        shocks = demand.day_shocks(3, 5)
+        assert shocks.shape == (5,)
+        assert list(shocks) == [demand.day_shock(3 + d) for d in range(5)]
+
+    def test_negative_start_rejected(self, demand):
+        with pytest.raises(ValueError):
+            demand.expected_matrix(-1, 4)
+        with pytest.raises(ValueError):
+            demand.counts_matrix(-1, 4)
+        with pytest.raises(ValueError):
+            demand.series(demand.universe.configs[0], -1, 4)
+
+    def test_empty_window(self, demand):
+        assert demand.counts_matrix(10, 0, top_n=4).shape == (4, 0)
+
+    def test_unknown_config_series_is_zero(self, demand):
+        from repro.workload.demand import CallConfig
+
+        alien = CallConfig.from_counts({"US": 7}, AUDIO)
+        assert np.array_equal(demand.series(alien, 0, 5), np.zeros(5, dtype=np.int64))
+
+    def test_poisson_inverse_cdf_properties(self):
+        from repro.workload.demand import _poisson_from_uniform
+
+        lam = np.full(4, 7.5)
+        # u = 0 maps to the smallest count, monotone in u.
+        counts = _poisson_from_uniform(np.array([0.0, 0.3, 0.7, 0.999999]), lam)
+        assert counts[0] == 0
+        assert (np.diff(counts) >= 0).all()
+        # Zero rate always yields zero calls.
+        assert _poisson_from_uniform(np.array([0.999]), np.array([0.0]))[0] == 0
+        # The small-rate walk and the large-rate gamma inversion agree
+        # where they meet (the hybrid threshold is an implementation
+        # detail, not a distribution change).
+        u = np.random.default_rng(3).random(2000)
+        low = _poisson_from_uniform(u, np.full(2000, 128.0))
+        high = _poisson_from_uniform(u, np.full(2000, np.nextafter(128.0, 129.0)))
+        assert np.abs(low - high).max() <= 1
+
+    def test_sampled_mean_tracks_rate(self, demand, universe):
+        # Aggregate over a peak fortnight: the sampled mean stays close
+        # to the expectation (the shock is mean ~1, Poisson is unbiased).
+        item = universe.top(1)[0]
+        slots = 2 * 7 * SLOTS_PER_DAY
+        sampled = demand.counts_matrix(0, slots, top_n=1)[0].sum()
+        expected = demand.expected_matrix(0, slots, top_n=1)[0].sum()
+        assert sampled == pytest.approx(expected, rel=0.1)
+
+
+class TestCoverageCache:
+    def test_coverage_matches_direct_sum(self, universe):
+        demands = universe.demands
+        total = sum(d.weight for d in demands)
+        for n in (1, 7, 50, len(demands)):
+            direct = sum(d.weight for d in demands[:n]) / total
+            assert universe.coverage(n) == pytest.approx(direct, rel=1e-12)
+
+    def test_coverage_edge_cases(self, universe):
+        assert universe.coverage(0) == 0.0
+        assert universe.coverage(-3) == 0.0
+        assert universe.coverage(10**9) == pytest.approx(1.0)
+
+
 class TestTraceGenerator:
     def test_calls_match_demand_counts(self, demand):
         generator = TraceGenerator(demand, top_n_configs=50)
