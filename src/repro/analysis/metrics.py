@@ -100,6 +100,46 @@ class EvaluationResult:
         return weighted_percentile(values, weights, q)
 
 
+def realized_assignment_table(
+    batch, slots_per_day: int
+) -> Dict[Tuple[int, CallConfig, str, str], float]:
+    """Aggregate an ``AssignmentBatch`` into an assignment table.
+
+    One ``np.unique`` group-by over the batch's parallel arrays
+    replaces the per-call dict accumulation: rows are
+    ``(slot-of-day, config, final DC, final option)`` with call
+    counts as values — exactly what the per-call loop over
+    ``CallAssignment`` views would build, so oracle- and
+    prediction-mode results score through the same
+    :func:`evaluate_assignment`.
+    """
+    table: Dict[Tuple[int, CallConfig, str, str], float] = {}
+    if not len(batch):
+        return table
+    calls = batch.table
+    rows = np.stack(
+        [
+            calls.start_slot % slots_per_day,
+            calls.config_idx,
+            batch.final_dc_idx,
+            batch.final_option_idx,
+        ],
+        axis=1,
+    )
+    uniq, counts = np.unique(rows, axis=0, return_counts=True)
+    for (t, ci, di, oi), n in zip(uniq, counts):
+        key = (
+            int(t),
+            calls.configs[int(ci)],
+            batch.dc_codes[int(di)],
+            batch.options[int(oi)],
+        )
+        # np.unique rows are distinct and configs/DCs/options are
+        # interned unique, so each key appears exactly once.
+        table[key] = float(n)
+    return table
+
+
 def evaluate_assignment(
     scenario,
     assignment: Mapping[Tuple[int, CallConfig, str, str], float],

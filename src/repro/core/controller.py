@@ -16,21 +16,41 @@ Controllers:
 * :class:`FirstJoinerLf` — latency-sorted buckets, first with capacity;
 * :class:`FirstJoinerTitan` — weighted-random DC by cores, random
   routing by the pair's Titan fraction.
+
+Each controller has two processing paths over one sample stream:
+
+* ``process(call)`` — the scalar reference, one :class:`Call` at a
+  time;
+* ``process_table(table)`` — the batch path over a whole
+  :class:`~repro.workload.traces.CallTable`, returning an
+  :class:`AssignmentBatch`.  Every random decision is an inverse-CDF
+  transform of raw uniforms, drawn in the same order as the scalar
+  loop, so the batch path reproduces the scalar assignments and
+  :class:`ControllerStats` call for call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..net.latency import INTERNET, WAN
 from ..workload.configs import CallConfig
 from ..workload.media import VIDEO
-from ..workload.traces import Call
-from .plan import OfflinePlan
+from ..workload.traces import Call, CallTable
+from .plan import OfflinePlan, QuotaIndex
 from .scenario import Scenario
+
+#: Routing options in batch index order (0 = WAN, 1 = INTERNET).
+ROUTING_OPTION_ORDER: Tuple[str, str] = (WAN, INTERNET)
+_OPTION_INDEX: Dict[str, int] = {opt: i for i, opt in enumerate(ROUTING_OPTION_ORDER)}
+
+#: Media order the controller tries for its intra-country guesses —
+#: shared by the scalar and batch TitanNext paths, whose call-for-call
+#: equivalence depends on identical guess sequences.
+GUESS_MEDIA: Tuple[str, str, str] = ("video", "audio", "screenshare")
 
 
 @dataclass
@@ -66,38 +86,298 @@ class ControllerStats:
     def dc_migration_rate(self) -> float:
         return self.dc_migrations / self.calls if self.calls else 0.0
 
+    @property
+    def option_migration_rate(self) -> float:
+        """Routing-option changes per call (cheap, intra-DC, §8.4)."""
+        return self.option_migrations / self.calls if self.calls else 0.0
+
+    @property
+    def unplanned_rate(self) -> float:
+        """Fraction of calls the plan could not place (§6.4 surge path)."""
+        return self.unplanned / self.calls if self.calls else 0.0
+
+
+class AssignmentBatch:
+    """Placements for a whole :class:`CallTable` as parallel arrays.
+
+    Row ``i`` is the assignment of ``table.call(i)``: integer indices
+    into ``dc_codes`` and ``options`` for the initial and final
+    placements.  :class:`CallAssignment` objects are lazy views
+    (indexing, iteration), so scalar consumers keep working while batch
+    consumers aggregate straight off the arrays.
+    """
+
+    __slots__ = (
+        "table",
+        "initial_dc_idx",
+        "initial_option_idx",
+        "final_dc_idx",
+        "final_option_idx",
+        "dc_codes",
+        "options",
+    )
+
+    def __init__(
+        self,
+        table: CallTable,
+        initial_dc_idx: np.ndarray,
+        initial_option_idx: np.ndarray,
+        final_dc_idx: np.ndarray,
+        final_option_idx: np.ndarray,
+        dc_codes: Sequence[str],
+        options: Tuple[str, str] = ROUTING_OPTION_ORDER,
+    ) -> None:
+        self.table = table
+        self.initial_dc_idx = np.asarray(initial_dc_idx, dtype=np.int64)
+        self.initial_option_idx = np.asarray(initial_option_idx, dtype=np.int64)
+        self.final_dc_idx = np.asarray(final_dc_idx, dtype=np.int64)
+        self.final_option_idx = np.asarray(final_option_idx, dtype=np.int64)
+        self.dc_codes: Tuple[str, ...] = tuple(dc_codes)
+        self.options = options
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __getitem__(self, i: int) -> CallAssignment:
+        if i < 0:
+            i += len(self)
+        return CallAssignment(
+            self.table.call(i),
+            self.dc_codes[self.initial_dc_idx[i]],
+            self.options[self.initial_option_idx[i]],
+            self.dc_codes[self.final_dc_idx[i]],
+            self.options[self.final_option_idx[i]],
+        )
+
+    def __iter__(self) -> Iterator[CallAssignment]:
+        for i in range(len(self)):
+            yield self[i]
+
+    @property
+    def dc_migrations(self) -> int:
+        return int(np.count_nonzero(self.initial_dc_idx != self.final_dc_idx))
+
+    @property
+    def option_migrations(self) -> int:
+        return int(np.count_nonzero(self.initial_option_idx != self.final_option_idx))
+
+    def to_list(self) -> List[CallAssignment]:
+        return [self[i] for i in range(len(self))]
+
+
+class _UniformStream:
+    """Chunked reader over a Generator's uniform stream.
+
+    ``next()`` returns exactly what ``rng.random()`` would have — numpy
+    fills arrays from the same underlying doubles — while amortizing
+    the per-draw Generator overhead across a chunk.  The buffer
+    persists across batches (the generator itself has already advanced
+    past it), so route every draw through one stream: a direct draw
+    from the underlying generator would skip the buffered doubles and
+    desynchronize all subsequent draws.
+    """
+
+    __slots__ = ("_rng", "_buffer", "_pos", "_chunk")
+
+    def __init__(self, rng: np.random.Generator, chunk: int = 1024) -> None:
+        self._rng = rng
+        self._chunk = chunk
+        self._buffer = rng.random(chunk)
+        self._pos = 0
+
+    def next(self) -> float:
+        if self._pos >= self._chunk:
+            self._buffer = self._rng.random(self._chunk)
+            self._pos = 0
+        u = self._buffer[self._pos]
+        self._pos += 1
+        return float(u)
+
+
+def weighted_shuffle_order(u: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Efraimidis–Spirakis weighted-random order from raw uniforms.
+
+    Orders indices by descending ``u_i ** (1/w_i)`` (via the monotone
+    ``log(u_i)/w_i``), which distributes like successive weighted draws
+    without replacement.  Being a pure elementwise transform of
+    pre-drawn uniforms — unlike ``rng.choice(replace=False, p=...)`` —
+    it lets the batch path replay the scalar stream exactly.  Works on
+    one call's vector or a ``(calls, buckets)`` matrix.
+    """
+    with np.errstate(divide="ignore"):
+        keys = np.log(u) / weights
+    return np.argsort(-keys, axis=-1, kind="stable")
+
+
+def _table_countries(table: CallTable) -> Tuple[List[str], np.ndarray]:
+    """First-joiner countries of a table: code list + per-call index."""
+    codes: List[str] = []
+    index: Dict[str, int] = {}
+    flat: List[int] = []
+    offsets = np.zeros(len(table.configs) + 1, dtype=np.int64)
+    for ci, config in enumerate(table.configs):
+        for code in config.countries:
+            gi = index.get(code)
+            if gi is None:
+                gi = len(codes)
+                index[code] = gi
+                codes.append(code)
+            flat.append(gi)
+        offsets[ci + 1] = len(flat)
+    flat_arr = np.asarray(flat, dtype=np.int64)
+    per_call = (
+        flat_arr[offsets[table.config_idx] + table.first_joiner_idx]
+        if len(table)
+        else np.zeros(0, dtype=np.int64)
+    )
+    return codes, per_call
+
+
+@dataclass(frozen=True)
+class _ConfigLoad:
+    """Interned per-config resource profile for the capacity tracker."""
+
+    cores: float
+    country_idx: Tuple[int, ...]  # -1 for countries outside the scenario
+    country_codes: Tuple[str, ...]
+    bandwidths: Tuple[float, ...]
+
 
 class _CapacityTracker:
     """Concurrent compute usage per (DC, slot) and Internet Gbps per
     (country, DC, slot) — what first-joiner baselines check before
-    admitting a call to a bucket."""
+    admitting a call to a bucket.
+
+    Usage lives in dense ``(dc, slot)`` / ``(country, dc, slot)``
+    arrays (grown geometrically along the slot axis) indexed by the
+    scenario's DC and country order; capacity caps are snapshotted at
+    construction.  The string-keyed methods serve the scalar
+    controllers; the ``*_at`` methods are the integer-indexed batch
+    path over the same arrays.
+    """
 
     def __init__(self, scenario: Scenario) -> None:
         self.scenario = scenario
-        self._compute: Dict[Tuple[str, int], float] = {}
-        self._internet: Dict[Tuple[str, str, int], float] = {}
+        self.dc_codes = list(scenario.dc_codes)
+        self.dc_index = {dc: i for i, dc in enumerate(self.dc_codes)}
+        self.country_index = {c: i for i, c in enumerate(scenario.country_codes)}
+        self._caps = np.asarray(
+            [scenario.compute_caps[dc] for dc in self.dc_codes], dtype=float
+        )
+        self._pair_caps = np.asarray(
+            [
+                [scenario.internet_cap_gbps(country, dc) for dc in self.dc_codes]
+                for country in scenario.country_codes
+            ],
+            dtype=float,
+        )
+        self._slots = 64
+        self._compute = np.zeros((len(self.dc_codes), self._slots))
+        self._internet = np.zeros(
+            (len(scenario.country_codes), len(self.dc_codes), self._slots)
+        )
+        #: Internet usage for participant countries outside the
+        #: scenario's country list (no dense row): a sparse side ledger
+        #: keyed (country, dc index, slot).
+        self._extra_internet: Dict[Tuple[str, int, int], float] = {}
+        self._loads: Dict[CallConfig, _ConfigLoad] = {}
 
-    def compute_headroom(self, dc: str, slot: int, cores: float) -> bool:
-        used = self._compute.get((dc, slot), 0.0)
-        return used + cores <= self.scenario.compute_caps[dc] + 1e-9
+    def reserve(self, slots: int) -> None:
+        """Pre-grow the slot axis (one resize instead of many)."""
+        self._ensure(slots)
 
-    def internet_headroom(self, config: CallConfig, dc: str, slot: int) -> bool:
-        for country, _ in config.participants:
-            cap = self.scenario.internet_cap_gbps(country, dc)
-            used = self._internet.get((country, dc, slot), 0.0)
-            if used + config.country_bandwidth_gbps(country) > cap + 1e-12:
+    def _ensure(self, slots: int) -> None:
+        if slots <= self._slots:
+            return
+        new = self._slots
+        while new < slots:
+            new *= 2
+        compute = np.zeros((self._compute.shape[0], new))
+        compute[:, : self._slots] = self._compute
+        internet = np.zeros(self._internet.shape[:2] + (new,))
+        internet[:, :, : self._slots] = self._internet
+        self._compute, self._internet, self._slots = compute, internet, new
+
+    def load_for(self, config: CallConfig) -> _ConfigLoad:
+        """The interned resource profile of a config."""
+        load = self._loads.get(config)
+        if load is None:
+            load = _ConfigLoad(
+                config.compute_cores(),
+                tuple(self.country_index.get(c, -1) for c in config.countries),
+                config.countries,
+                tuple(config.country_bandwidth_gbps(c) for c in config.countries),
+            )
+            self._loads[config] = load
+        return load
+
+    # -- integer-indexed batch path ---------------------------------------
+
+    def compute_headroom_at(self, dc_i: int, slot: int, cores: float) -> bool:
+        self._ensure(slot + 1)
+        return self._compute[dc_i, slot] + cores <= self._caps[dc_i] + 1e-9
+
+    def internet_headroom_at(self, load: _ConfigLoad, dc_i: int, slot: int) -> bool:
+        self._ensure(slot + 1)
+        for ci, code, bw in zip(load.country_idx, load.country_codes, load.bandwidths):
+            if ci >= 0:
+                cap = self._pair_caps[ci, dc_i]
+                used = self._internet[ci, dc_i, slot]
+            else:
+                cap = self.scenario.internet_cap_gbps(code, self.dc_codes[dc_i])
+                used = self._extra_internet.get((code, dc_i, slot), 0.0)
+            if used + bw > cap + 1e-12:
                 return False
         return True
 
+    def admit_at(
+        self, load: _ConfigLoad, dc_i: int, internet: bool, start: int, end: int
+    ) -> None:
+        self._ensure(end)
+        self._compute[dc_i, start:end] += load.cores
+        if internet:
+            for ci, code, bw in zip(load.country_idx, load.country_codes, load.bandwidths):
+                if ci >= 0:
+                    self._internet[ci, dc_i, start:end] += bw
+                else:
+                    for slot in range(start, end):
+                        key = (code, dc_i, slot)
+                        self._extra_internet[key] = self._extra_internet.get(key, 0.0) + bw
+
+    # -- string-keyed scalar API ------------------------------------------
+
+    def compute_headroom(self, dc: str, slot: int, cores: float) -> bool:
+        return self.compute_headroom_at(self.dc_index[dc], slot, cores)
+
+    def internet_headroom(self, config: CallConfig, dc: str, slot: int) -> bool:
+        return self.internet_headroom_at(self.load_for(config), self.dc_index[dc], slot)
+
     def admit(self, config: CallConfig, dc: str, option: str, call: Call) -> None:
-        cores = config.compute_cores()
-        for slot in range(call.start_slot, call.end_slot):
-            key = (dc, slot)
-            self._compute[key] = self._compute.get(key, 0.0) + cores
-            if option == INTERNET:
-                for country, _ in config.participants:
-                    k = (country, dc, slot)
-                    self._internet[k] = self._internet.get(k, 0.0) + config.country_bandwidth_gbps(country)
+        self.admit_at(
+            self.load_for(config),
+            self.dc_index[dc],
+            option == INTERNET,
+            call.start_slot,
+            call.end_slot,
+        )
+
+
+class _DcInterner:
+    """Grows a DC code list as batch paths meet plan-only DCs."""
+
+    __slots__ = ("codes", "index")
+
+    def __init__(self, codes: Sequence[str]) -> None:
+        self.codes = list(codes)
+        self.index = {dc: i for i, dc in enumerate(self.codes)}
+
+    def __call__(self, dc: str) -> int:
+        i = self.index.get(dc)
+        if i is None:
+            i = len(self.codes)
+            self.index[dc] = i
+            self.codes.append(dc)
+        return i
 
 
 def _intra_country_guess(country: str, media: str) -> CallConfig:
@@ -135,8 +415,19 @@ class TitanNextController:
         #: of the first joiner", §6.4).
         self._recent_config: Dict[str, CallConfig] = {}
         #: Tentative quota consumption per in-flight call: the guessed
-        #: config whose plan bucket was decremented at assign time.
-        self._pending: Dict[int, Optional[CallConfig]] = {}
+        #: config whose plan bucket was sampled at assign time, plus
+        #: whether a full unit of quota was actually consumed (a
+        #: fractional bucket can be sampled but hold less than one
+        #: unit; refunding it anyway would mint quota from nothing).
+        self._pending: Dict[int, Optional[Tuple[CallConfig, bool]]] = {}
+        self._fallback_cache: Dict[str, Tuple[str, str]] = {}
+        #: Batch-path state, created on the first ``process_table`` call
+        #: and carried across calls so successive tables behave like one
+        #: continuous stream: the quota snapshot, the buffered uniform
+        #: reader, and the per-country most-recent plan keys.
+        self._quota_index: Optional[QuotaIndex] = None
+        self._uniform_stream: Optional[_UniformStream] = None
+        self._recent_key: Dict[str, int] = {}
 
     def _plan_key(self, config: CallConfig) -> CallConfig:
         return config.reduced() if self.reduce_configs else config
@@ -144,12 +435,19 @@ class TitanNextController:
     def _plan_slot(self, call: Call) -> int:
         return call.start_slot % self.slots_per_day
 
-    def _fallback(self, call: Call) -> Tuple[str, str]:
+    def _fallback_for_country(self, country_code: str) -> Tuple[str, str]:
         """Surge handling: nearest DC with capacity, over the WAN (§6.4)."""
-        country = self.scenario.world.country(call.first_joiner_country)
-        candidates = [self.scenario.world.dc(code) for code in self.scenario.dc_codes]
-        nearest = self.scenario.world.nearest_dc(country.centroid, candidates)
-        return nearest.code, WAN
+        cached = self._fallback_cache.get(country_code)
+        if cached is None:
+            country = self.scenario.world.country(country_code)
+            candidates = [self.scenario.world.dc(code) for code in self.scenario.dc_codes]
+            nearest = self.scenario.world.nearest_dc(country.centroid, candidates)
+            cached = (nearest.code, WAN)
+            self._fallback_cache[country_code] = cached
+        return cached
+
+    def _fallback(self, call: Call) -> Tuple[str, str]:
+        return self._fallback_for_country(call.first_joiner_country)
 
     def assign(self, call: Call) -> Tuple[str, str]:
         """Initial assignment from the first joiner's country only.
@@ -161,12 +459,21 @@ class TitanNextController:
         tried before falling back to nearest-DC-with-capacity (§6.4,
         "handling surge in calls").
         """
+        if self._quota_index is not None:
+            # The batch path owns the quota snapshot, the per-country
+            # recent-config state, and a prefetched uniform buffer;
+            # scalar processing after it would double-spend quota and
+            # draw from a skipped-ahead stream.  Fail loudly instead.
+            raise RuntimeError(
+                "cannot mix scalar process() with process_table() on one "
+                "controller; use a fresh TitanNextController"
+            )
         slot = self._plan_slot(call)
         country = call.first_joiner_country
         guesses = []
         if country in self._recent_config:
             guesses.append(self._recent_config[country])
-        for media in ("video", "audio", "screenshare"):
+        for media in GUESS_MEDIA:
             candidate = _intra_country_guess(country, media)
             if candidate not in guesses:
                 guesses.append(candidate)
@@ -174,8 +481,8 @@ class TitanNextController:
             choice = self.plan.sample(slot, guess, self.rng)
             if choice is not None:
                 dc, option = choice
-                self.plan.consume(slot, guess, dc, option)
-                self._pending[call.call_id] = guess
+                consumed = self.plan.consume(slot, guess, dc, option)
+                self._pending[call.call_id] = (guess, consumed)
                 return dc, option
         self.stats.unplanned += 1
         self._pending[call.call_id] = None
@@ -196,12 +503,16 @@ class TitanNextController:
         self._recent_config[call.first_joiner_country] = true_reduced
         initial_dc, initial_option = initial
         self.stats.calls += 1
-        guess = self._pending.pop(call.call_id, None)
+        pending = self._pending.pop(call.call_id, None)
+        guess, consumed = pending if pending is not None else (None, False)
 
         if guess == true_reduced:
             # Guessed right: the assign-time consumption was the real one.
             return CallAssignment(call, initial_dc, initial_option, initial_dc, initial_option)
-        if guess is not None:
+        if consumed:
+            # Undo only what was actually decremented: a sampled-but-
+            # fractional bucket consumed nothing, so refunding it would
+            # inflate the plan's total quota on every wrong guess.
             self.plan.refund(slot, guess, initial_dc, initial_option)
 
         # The paper's rule: draw the target assignment for the *true*
@@ -225,6 +536,120 @@ class TitanNextController:
         initial = self.assign(call)
         return self.reveal(call, initial)
 
+    def process_table(self, table: CallTable) -> AssignmentBatch:
+        """Batch rendition of :meth:`process` over a whole trace table.
+
+        Groups all per-call work around integer-interned state — a
+        :class:`~repro.core.plan.QuotaIndex` snapshot of the plan,
+        interned plan keys, per-country guess/fallback tables — and
+        consumes the controller's uniform stream in the exact order the
+        scalar loop would, so assignments and stats are identical call
+        for call.  The quota snapshot, uniform buffer, and per-country
+        recent-config state persist across calls, so splitting a day
+        into several tables behaves like processing one table; quota
+        accounting runs on the snapshot, so do not interleave with
+        scalar :meth:`process` calls on one controller.
+        """
+        n = len(table)
+        opt_index = _OPTION_INDEX
+        dc_of = _DcInterner(self.scenario.dc_codes)
+        initial_dc = np.zeros(n, dtype=np.int64)
+        initial_opt = np.zeros(n, dtype=np.int64)
+        final_dc = np.zeros(n, dtype=np.int64)
+        final_opt = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return AssignmentBatch(table, initial_dc, initial_opt, final_dc, final_opt, dc_of.codes)
+
+        if self._quota_index is None:
+            self._quota_index = QuotaIndex(self.plan)
+            self._uniform_stream = _UniformStream(self.rng)
+        index = self._quota_index
+        entry_for = index.entry
+        u_next = self._uniform_stream.next
+        plan_key = np.asarray(
+            [index.key(self._plan_key(c)) for c in table.configs], dtype=np.int64
+        )
+        codes, country_of_call = _table_countries(table)
+        intra_keys = [
+            [index.key(_intra_country_guess(code, media)) for media in GUESS_MEDIA]
+            for code in codes
+        ]
+        fallback = [
+            (dc_of(dc), opt_index[option])
+            for dc, option in (self._fallback_for_country(code) for code in codes)
+        ]
+        recent = [self._recent_key.get(code, -1) for code in codes]
+        slot_of_day = table.start_slot % self.slots_per_day
+        cfg_idx = table.config_idx
+        calls = dc_migrations = option_migrations = unplanned = 0
+
+        for i in range(n):
+            slot = int(slot_of_day[i])
+            c = int(country_of_call[i])
+            g0 = recent[c]
+            chosen = None
+            chosen_pos = -1
+            chosen_key = -1
+            consumed = False
+            if g0 >= 0:
+                entry = entry_for(slot, g0)
+                if entry is not None:
+                    pos = entry.sample(u_next)
+                    if pos is not None:
+                        chosen, chosen_pos, chosen_key = entry, pos, g0
+            if chosen is None:
+                for k in intra_keys[c]:
+                    if k == g0:
+                        continue
+                    entry = entry_for(slot, k)
+                    if entry is None:
+                        continue
+                    pos = entry.sample(u_next)
+                    if pos is None:
+                        continue
+                    chosen, chosen_pos, chosen_key = entry, pos, k
+                    break
+            if chosen is None:
+                unplanned += 1
+                ini_d, ini_o = fallback[c]
+            else:
+                consumed = chosen.consume(chosen_pos)
+                dc_s, opt_s = chosen.keys[chosen_pos]
+                ini_d = dc_of(dc_s)
+                ini_o = opt_index[opt_s]
+
+            true_k = int(plan_key[cfg_idx[i]])
+            recent[c] = true_k
+            calls += 1
+            fin_d, fin_o = ini_d, ini_o
+            if chosen_key != true_k:
+                if consumed:
+                    chosen.refund(chosen_pos)
+                entry = entry_for(slot, true_k)
+                pos = entry.sample(u_next) if entry is not None else None
+                if pos is not None:
+                    entry.consume(pos)
+                    dc_s, opt_s = entry.keys[pos]
+                    fin_d = dc_of(dc_s)
+                    fin_o = opt_index[opt_s]
+                    if fin_d != ini_d:
+                        dc_migrations += 1
+                    if fin_o != ini_o:
+                        option_migrations += 1
+            initial_dc[i] = ini_d
+            initial_opt[i] = ini_o
+            final_dc[i] = fin_d
+            final_opt[i] = fin_o
+
+        for c, code in enumerate(codes):
+            if recent[c] >= 0:
+                self._recent_key[code] = recent[c]
+        self.stats.calls += calls
+        self.stats.dc_migrations += dc_migrations
+        self.stats.option_migrations += option_migrations
+        self.stats.unplanned += unplanned
+        return AssignmentBatch(table, initial_dc, initial_opt, final_dc, final_opt, dc_of.codes)
+
 
 class FirstJoinerWrr:
     """Capacity-tracked WRR over (DC, option) buckets (§8.1(1))."""
@@ -235,25 +660,35 @@ class FirstJoinerWrr:
         self.scenario = scenario
         self.rng = np.random.default_rng(seed)
         self.tracker = _CapacityTracker(scenario)
+        self.stats = ControllerStats()
+        self._bucket_cache: Dict[str, Tuple[List[Tuple[str, str]], np.ndarray]] = {}
 
-    def _weights(self, country: str) -> List[Tuple[Tuple[str, str], float]]:
-        total_cores = sum(self.scenario.compute_caps[dc] for dc in self.scenario.dc_codes)
-        buckets = []
-        for dc in self.scenario.dc_codes:
-            share = self.scenario.compute_caps[dc] / total_cores
-            fraction = self.scenario.internet_fraction(country, dc)
-            if fraction > 0:
-                buckets.append(((dc, INTERNET), share * fraction))
-            buckets.append(((dc, WAN), share * (1.0 - fraction)))
-        return buckets
+    def _buckets(self, country: str) -> Tuple[List[Tuple[str, str]], np.ndarray]:
+        """WRR buckets for a country: (dc, option) keys + weights."""
+        cached = self._bucket_cache.get(country)
+        if cached is None:
+            total_cores = sum(self.scenario.compute_caps[dc] for dc in self.scenario.dc_codes)
+            keys: List[Tuple[str, str]] = []
+            weights: List[float] = []
+            for dc in self.scenario.dc_codes:
+                share = self.scenario.compute_caps[dc] / total_cores
+                fraction = self.scenario.internet_fraction(country, dc)
+                if fraction > 0:
+                    keys.append((dc, INTERNET))
+                    weights.append(share * fraction)
+                keys.append((dc, WAN))
+                weights.append(share * (1.0 - fraction))
+            cached = (keys, np.asarray(weights))
+            self._bucket_cache[country] = cached
+        return cached
 
     def process(self, call: Call) -> CallAssignment:
-        buckets = self._weights(call.first_joiner_country)
-        weights = np.array([w for _, w in buckets])
-        order = self.rng.choice(len(buckets), size=len(buckets), replace=False, p=weights / weights.sum())
+        self.stats.calls += 1
+        keys, weights = self._buckets(call.first_joiner_country)
+        order = weighted_shuffle_order(self.rng.random(len(keys)), weights)
         cores = call.config.compute_cores()
         for idx in order:
-            (dc, option), _ = buckets[idx]
+            dc, option = keys[idx]
             if not self.tracker.compute_headroom(dc, call.start_slot, cores):
                 continue
             if option == INTERNET and not self.tracker.internet_headroom(call.config, dc, call.start_slot):
@@ -261,9 +696,81 @@ class FirstJoinerWrr:
             self.tracker.admit(call.config, dc, option, call)
             return CallAssignment(call, dc, option, dc, option)
         # Everything full: overflow onto the first bucket's WAN.
-        dc = buckets[0][0][0]
+        self.stats.unplanned += 1
+        dc = keys[0][0]
         self.tracker.admit(call.config, dc, WAN, call)
         return CallAssignment(call, dc, WAN, dc, WAN)
+
+    def process_table(self, table: CallTable) -> AssignmentBatch:
+        """Batch WRR: one uniform block, vectorized weighted shuffles,
+        then a sequential capacity-checked admission pass (calls within
+        a slot contend for the same headroom, so admission order is
+        part of the semantics).  Stream- and float-identical to
+        :meth:`process` call for call."""
+        n = len(table)
+        tracker = self.tracker
+        dc_codes = tuple(tracker.dc_codes)
+        initial_dc = np.zeros(n, dtype=np.int64)
+        option_idx = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return AssignmentBatch(table, initial_dc, option_idx, initial_dc, option_idx, dc_codes)
+
+        codes, country_of_call = _table_countries(table)
+        per_country = []
+        for code in codes:
+            keys, weights = self._buckets(code)
+            per_country.append(
+                (
+                    np.asarray([tracker.dc_index[dc] for dc, _ in keys], dtype=np.int64),
+                    np.asarray([opt == INTERNET for _, opt in keys], dtype=bool),
+                    weights,
+                )
+            )
+        bucket_count = np.asarray([len(pc[0]) for pc in per_country], dtype=np.int64)
+        k_per_call = bucket_count[country_of_call]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(k_per_call, out=offsets[1:])
+        uniforms = self.rng.random(int(offsets[-1]))
+
+        orders: List[Optional[np.ndarray]] = [None] * n
+        for c, (_, _, weights) in enumerate(per_country):
+            rows = np.nonzero(country_of_call == c)[0]
+            if not len(rows):
+                continue
+            k = int(bucket_count[c])
+            block = uniforms[offsets[rows][:, None] + np.arange(k)[None, :]]
+            for row, order in zip(rows, weighted_shuffle_order(block, weights)):
+                orders[row] = order
+
+        loads = [tracker.load_for(config) for config in table.configs]
+        starts, ends, cfg_idx = table.start_slot, table.end_slot, table.config_idx
+        tracker.reserve(int(ends.max()))
+        unplanned = 0
+        for i in range(n):
+            load = loads[cfg_idx[i]]
+            dc_arr, inet_arr, _ = per_country[country_of_call[i]]
+            start = int(starts[i])
+            placed = False
+            for idx in orders[i]:
+                d = int(dc_arr[idx])
+                inet = bool(inet_arr[idx])
+                if not tracker.compute_headroom_at(d, start, load.cores):
+                    continue
+                if inet and not tracker.internet_headroom_at(load, d, start):
+                    continue
+                tracker.admit_at(load, d, inet, start, int(ends[i]))
+                initial_dc[i] = d
+                option_idx[i] = 1 if inet else 0
+                placed = True
+                break
+            if not placed:
+                unplanned += 1
+                d = int(dc_arr[0])
+                tracker.admit_at(load, d, False, start, int(ends[i]))
+                initial_dc[i] = d
+        self.stats.calls += n
+        self.stats.unplanned += unplanned
+        return AssignmentBatch(table, initial_dc, option_idx, initial_dc.copy(), option_idx.copy(), dc_codes)
 
 
 class FirstJoinerLf:
@@ -274,17 +781,24 @@ class FirstJoinerLf:
     def __init__(self, scenario: Scenario) -> None:
         self.scenario = scenario
         self.tracker = _CapacityTracker(scenario)
+        self.stats = ControllerStats()
+        self._bucket_cache: Dict[str, List[Tuple[str, str]]] = {}
 
     def _sorted_buckets(self, country: str) -> List[Tuple[str, str]]:
-        buckets = []
-        for dc in self.scenario.dc_codes:
-            buckets.append(((dc, WAN), self.scenario.one_way_ms(country, dc, WAN)))
-            if self.scenario.internet_fraction(country, dc) > 0:
-                buckets.append(((dc, INTERNET), self.scenario.one_way_ms(country, dc, INTERNET)))
-        buckets.sort(key=lambda kv: kv[1])
-        return [key for key, _ in buckets]
+        cached = self._bucket_cache.get(country)
+        if cached is None:
+            buckets = []
+            for dc in self.scenario.dc_codes:
+                buckets.append(((dc, WAN), self.scenario.one_way_ms(country, dc, WAN)))
+                if self.scenario.internet_fraction(country, dc) > 0:
+                    buckets.append(((dc, INTERNET), self.scenario.one_way_ms(country, dc, INTERNET)))
+            buckets.sort(key=lambda kv: kv[1])
+            cached = [key for key, _ in buckets]
+            self._bucket_cache[country] = cached
+        return cached
 
     def process(self, call: Call) -> CallAssignment:
+        self.stats.calls += 1
         cores = call.config.compute_cores()
         for dc, option in self._sorted_buckets(call.first_joiner_country):
             if not self.tracker.compute_headroom(dc, call.start_slot, cores):
@@ -293,9 +807,56 @@ class FirstJoinerLf:
                 continue
             self.tracker.admit(call.config, dc, option, call)
             return CallAssignment(call, dc, option, dc, option)
+        self.stats.unplanned += 1
         dc = self.scenario.dc_codes[0]
         self.tracker.admit(call.config, dc, WAN, call)
         return CallAssignment(call, dc, WAN, dc, WAN)
+
+    def process_table(self, table: CallTable) -> AssignmentBatch:
+        """Batch LF: cached latency-sorted buckets per country, one
+        sequential capacity-checked admission pass (LF draws no
+        randomness).  Identical to :meth:`process` call for call."""
+        n = len(table)
+        tracker = self.tracker
+        dc_codes = tuple(tracker.dc_codes)
+        initial_dc = np.zeros(n, dtype=np.int64)
+        option_idx = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return AssignmentBatch(table, initial_dc, option_idx, initial_dc, option_idx, dc_codes)
+
+        codes, country_of_call = _table_countries(table)
+        per_country = []
+        for code in codes:
+            buckets = self._sorted_buckets(code)
+            per_country.append(
+                [(tracker.dc_index[dc], opt == INTERNET) for dc, opt in buckets]
+            )
+        loads = [tracker.load_for(config) for config in table.configs]
+        starts, ends, cfg_idx = table.start_slot, table.end_slot, table.config_idx
+        tracker.reserve(int(ends.max()))
+        unplanned = 0
+        overflow_dc = tracker.dc_index[self.scenario.dc_codes[0]]
+        for i in range(n):
+            load = loads[cfg_idx[i]]
+            start = int(starts[i])
+            placed = False
+            for d, inet in per_country[country_of_call[i]]:
+                if not tracker.compute_headroom_at(d, start, load.cores):
+                    continue
+                if inet and not tracker.internet_headroom_at(load, d, start):
+                    continue
+                tracker.admit_at(load, d, inet, start, int(ends[i]))
+                initial_dc[i] = d
+                option_idx[i] = 1 if inet else 0
+                placed = True
+                break
+            if not placed:
+                unplanned += 1
+                tracker.admit_at(load, overflow_dc, False, start, int(ends[i]))
+                initial_dc[i] = overflow_dc
+        self.stats.calls += n
+        self.stats.unplanned += unplanned
+        return AssignmentBatch(table, initial_dc, option_idx, initial_dc.copy(), option_idx.copy(), dc_codes)
 
 
 class FirstJoinerTitan:
@@ -306,12 +867,50 @@ class FirstJoinerTitan:
     def __init__(self, scenario: Scenario, seed: int = 61) -> None:
         self.scenario = scenario
         self.rng = np.random.default_rng(seed)
+        self.stats = ControllerStats()
+        total = sum(scenario.compute_caps[dc] for dc in scenario.dc_codes)
+        self._cum_probs = np.cumsum(
+            [scenario.compute_caps[dc] / total for dc in scenario.dc_codes]
+        )
+
+    def _pick_dc(self, u: float) -> int:
+        return int(
+            np.minimum(
+                np.searchsorted(self._cum_probs, u, side="right"),
+                len(self._cum_probs) - 1,
+            )
+        )
 
     def process(self, call: Call) -> CallAssignment:
+        self.stats.calls += 1
         scenario = self.scenario
-        total_cores = sum(scenario.compute_caps[dc] for dc in scenario.dc_codes)
-        probs = np.array([scenario.compute_caps[dc] / total_cores for dc in scenario.dc_codes])
-        dc = scenario.dc_codes[int(self.rng.choice(len(scenario.dc_codes), p=probs))]
+        dc = scenario.dc_codes[self._pick_dc(self.rng.random())]
         fraction = scenario.internet_fraction(call.first_joiner_country, dc)
         option = INTERNET if self.rng.random() < fraction else WAN
         return CallAssignment(call, dc, option, dc, option)
+
+    def process_table(self, table: CallTable) -> AssignmentBatch:
+        """Batch Titan: fully vectorized — one uniform block, one
+        ``searchsorted`` for the DC draws, one fraction-table gather
+        for the routing draws.  Identical to :meth:`process` call for
+        call (Titan is stateless)."""
+        n = len(table)
+        scenario = self.scenario
+        dc_codes = tuple(scenario.dc_codes)
+        if n == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return AssignmentBatch(table, empty, empty, empty, empty, dc_codes)
+        codes, country_of_call = _table_countries(table)
+        uniforms = self.rng.random(2 * n)
+        dc_idx = np.minimum(
+            np.searchsorted(self._cum_probs, uniforms[0::2], side="right"),
+            len(dc_codes) - 1,
+        ).astype(np.int64)
+        fractions = np.asarray(
+            [[scenario.internet_fraction(code, dc) for dc in dc_codes] for code in codes]
+        )
+        option_idx = (uniforms[1::2] < fractions[country_of_call, dc_idx]).astype(np.int64)
+        self.stats.calls += n
+        return AssignmentBatch(
+            table, dc_idx, option_idx, dc_idx.copy(), option_idx.copy(), dc_codes
+        )

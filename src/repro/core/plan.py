@@ -5,17 +5,50 @@ into per-(slot, reduced config) quotas over (DC, routing option) pairs.
 The online controller consumes quotas with weighted-random selection
 ("we then use all the counts for each assignment ... as weights and use
 weighted random to pick the assignment", §6.4).
+
+Two access paths share one sampling primitive (:func:`weighted_pick`):
+
+* :class:`OfflinePlan` — the dict-backed scalar reference the per-call
+  controllers consume;
+* :class:`QuotaIndex` — an indexed quota matrix over the same plan
+  ((slot, interned config) → parallel bucket/quota arrays) built for
+  the batch controllers, whose draws consume the identical uniform
+  stream and therefore pick the identical buckets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..workload.configs import CallConfig
 from .lp import AssignmentTable
+
+#: Quotas at or below this are treated as exhausted when sampling.
+QUOTA_EPS = 1e-9
+
+
+def weighted_pick(weights: Sequence[float], u: float) -> int:
+    """Inverse-CDF draw over ``weights`` from one uniform.
+
+    The shared primitive of the scalar and batch plan paths: both feed
+    it the same (weights, uniform) pairs in the same order, so both
+    pick the same bucket.  ``weights`` must be non-empty and positive;
+    the caller filters exhausted buckets first (and skips the uniform
+    entirely when none remain, keeping the stream aligned).
+    """
+    total = 0.0
+    cumulative = []
+    for w in weights:
+        total += w
+        cumulative.append(total)
+    target = u * total
+    for i, c in enumerate(cumulative):
+        if target < c:
+            return i
+    return len(cumulative) - 1
 
 
 @dataclass
@@ -60,16 +93,20 @@ class OfflinePlan:
     def sample(
         self, slot: int, config: CallConfig, rng: np.random.Generator
     ) -> Optional[Tuple[str, str]]:
-        """Weighted-random (DC, option) draw from remaining quotas."""
+        """Weighted-random (DC, option) draw from remaining quotas.
+
+        Draws exactly one uniform from ``rng`` — and none at all when
+        every bucket is exhausted — so the batch path can replay the
+        stream draw for draw.
+        """
         entry = self._entries.get((slot, config))
         if entry is None:
             return None
-        buckets = [(key, w) for key, w in entry.weights() if w > 1e-9]
+        buckets = [(key, w) for key, w in entry.weights() if w > QUOTA_EPS]
         if not buckets:
             return None
-        weights = np.array([w for _, w in buckets])
-        idx = int(rng.choice(len(buckets), p=weights / weights.sum()))
-        return buckets[idx][0]
+        pick = weighted_pick([w for _, w in buckets], float(rng.random()))
+        return buckets[pick][0]
 
     def consume(self, slot: int, config: CallConfig, dc: str, option: str, amount: float = 1.0) -> bool:
         """Decrement a bucket's remaining quota; False if exhausted."""
@@ -78,7 +115,7 @@ class OfflinePlan:
             return False
         key = (dc, option)
         remaining = entry.buckets.get(key, 0.0)
-        if remaining < amount - 1e-9:
+        if remaining < amount - QUOTA_EPS:
             return False
         entry.buckets[key] = remaining - amount
         return True
@@ -94,3 +131,87 @@ class OfflinePlan:
         if entry is None:
             return 0.0
         return entry.buckets.get((dc, option), 0.0)
+
+
+class QuotaEntry:
+    """One (slot, config) plan entry as parallel bucket/quota arrays.
+
+    ``keys[i]`` is the ``(dc, option)`` of bucket ``i`` (sorted, the
+    same canonical order :meth:`PlanEntry.weights` uses) and
+    ``quota[i]`` its remaining quota.  Quotas evolve through the same
+    ``-= 1.0`` / ``+= 1.0`` float updates as the dict path, so the
+    filtered cumulative sums — and hence the picks — match bitwise.
+    """
+
+    __slots__ = ("keys", "quota")
+
+    def __init__(self, keys: Sequence[Tuple[str, str]], quota: Sequence[float]) -> None:
+        self.keys: List[Tuple[str, str]] = list(keys)
+        self.quota: List[float] = [float(q) for q in quota]
+
+    def sample(self, u_next) -> Optional[int]:
+        """Bucket index drawn from remaining quotas, or None if empty.
+
+        ``u_next`` is a zero-argument callable producing the next
+        uniform; it is invoked only when a positive bucket exists —
+        mirroring :meth:`OfflinePlan.sample`'s conditional draw.
+        """
+        positive = [i for i, q in enumerate(self.quota) if q > QUOTA_EPS]
+        if not positive:
+            return None
+        pick = weighted_pick([self.quota[i] for i in positive], u_next())
+        return positive[pick]
+
+    def consume(self, bucket: int, amount: float = 1.0) -> bool:
+        if self.quota[bucket] < amount - QUOTA_EPS:
+            return False
+        self.quota[bucket] -= amount
+        return True
+
+    def refund(self, bucket: int, amount: float = 1.0) -> None:
+        self.quota[bucket] += amount
+
+
+class QuotaIndex:
+    """Indexed quota matrix over an :class:`OfflinePlan`.
+
+    Interns plan keys (reduced call configs) to integers via
+    :meth:`key` and materializes each touched (slot, key) entry as a
+    :class:`QuotaEntry` snapshot on first access.  The batch
+    controllers own all quota accounting through this index for the
+    duration of a run; mutations are not written back to the source
+    plan, so do not interleave indexed and dict-path consumption of
+    one plan.
+    """
+
+    def __init__(self, plan: OfflinePlan) -> None:
+        self._plan = plan
+        self._key_index: Dict[CallConfig, int] = {}
+        self._key_configs: List[CallConfig] = []
+        self._entries: Dict[Tuple[int, int], Optional[QuotaEntry]] = {}
+
+    def key(self, config: CallConfig) -> int:
+        """Intern a planning config, returning its integer key."""
+        idx = self._key_index.get(config)
+        if idx is None:
+            idx = len(self._key_configs)
+            self._key_index[config] = idx
+            self._key_configs.append(config)
+        return idx
+
+    def key_config(self, key: int) -> CallConfig:
+        return self._key_configs[key]
+
+    def entry(self, slot: int, key: int) -> Optional[QuotaEntry]:
+        """The (slot, key) entry, snapshotted lazily from the plan."""
+        cache_key = (slot, key)
+        if cache_key in self._entries:
+            return self._entries[cache_key]
+        source = self._plan.entry(slot, self._key_configs[key])
+        if source is None:
+            entry: Optional[QuotaEntry] = None
+        else:
+            items = source.weights()
+            entry = QuotaEntry([k for k, _ in items], [w for _, w in items])
+        self._entries[cache_key] = entry
+        return entry

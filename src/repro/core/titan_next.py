@@ -28,9 +28,10 @@ from ..geo.world import World, default_world
 from ..net.latency import LatencyModel
 from ..workload.configs import CallConfig, group_by_reduced
 from ..workload.demand import SLOTS_PER_DAY, ConfigUniverse, DemandModel
-from ..workload.traces import Call, TraceGenerator
+from ..workload.traces import Call, CallTable, TraceGenerator
 from .capacity import InternetCapacityBook
 from .controller import (
+    AssignmentBatch,
     CallAssignment,
     ControllerStats,
     FirstJoinerLf,
@@ -338,17 +339,24 @@ def run_oracle_day(
     lp_options: Optional[JointLpOptions] = None,
     plan_cache: Optional[PlanCache] = None,
     demand: Optional[Dict[Tuple[int, CallConfig], float]] = None,
+    trace: Optional[CallTable] = None,
 ):
     """Run the §7 oracle comparison for one day.
 
     Returns ``{policy name: EvaluationResult}``.  When ``plan_cache`` is
     given, Titan-Next re-solves the cached LP structure (RHS refresh
-    only) instead of rebuilding the model from scratch.
+    only) instead of rebuilding the model from scratch.  ``trace`` lets
+    the oracle run consume the exact call realization of a §8
+    controller run: the :class:`CallTable` is aggregated back into the
+    per-(slot, reduced config) demand table the policies plan on.
     """
     from ..analysis.metrics import evaluate_assignment
 
     if demand is None:
-        demand = oracle_demand_for_day(setup, day)
+        if trace is not None:
+            demand = trace.demand_table(reduced=True, slots_per_day=SLOTS_PER_DAY)
+        else:
+            demand = oracle_demand_for_day(setup, day)
     if lp_options is None:
         lp_options = JointLpOptions(e2e_bound_ms=day_e2e_bound_ms(day))
     registry = {
@@ -416,13 +424,23 @@ def run_oracle_week(
 
 @dataclass
 class PredictionDayResult:
-    """Outcome of one §8 prediction-mode day for one controller."""
+    """Outcome of one §8 prediction-mode day for one controller.
+
+    ``assignments`` is either a scalar list of
+    :class:`CallAssignment` or an :class:`AssignmentBatch` (the batch
+    controllers' structure-of-arrays output); both iterate as
+    :class:`CallAssignment` views.
+    """
 
     policy: str
-    assignments: List[CallAssignment]
+    assignments: "List[CallAssignment] | AssignmentBatch"
     stats: Optional[ControllerStats] = None
 
     def realized_table(self, slots_per_day: int = SLOTS_PER_DAY) -> AssignmentTable:
+        if isinstance(self.assignments, AssignmentBatch):
+            from ..analysis.metrics import realized_assignment_table
+
+            return realized_assignment_table(self.assignments, slots_per_day)
         table: AssignmentTable = {}
         for a in self.assignments:
             key = (a.call.start_slot % slots_per_day, a.call.config, a.final_dc, a.final_option)
@@ -436,20 +454,20 @@ def _replay_titan_next_day(
     day: int,
     seed: int,
     reduced: bool,
-    calls: Optional[List[Call]] = None,
+    table: Optional[CallTable] = None,
 ) -> PredictionDayResult:
     """Run the online controller over one day's trace against a plan.
 
-    ``calls`` lets callers that already expanded the day's trace (it is
-    shared with the baseline policies) avoid a second expansion.
+    ``table`` lets callers that already synthesized the day's trace (it
+    is shared with the baseline controllers) avoid a second synthesis.
     """
     plan = OfflinePlan.from_assignment(solved.assignment)
     controller = TitanNextController(setup.scenario, plan, seed=seed + 1, reduce_configs=reduced)
-    if calls is None:
+    if table is None:
         trace = TraceGenerator(setup.demand, top_n_configs=setup.top_n_configs, seed=seed)
-        calls = trace.calls_for_day(day)
-    assignments = [controller.process(call) for call in calls]
-    return PredictionDayResult("titan-next", assignments, controller.stats)
+        table = trace.table_for_day(day)
+    batch = controller.process_table(table)
+    return PredictionDayResult("titan-next", batch, controller.stats)
 
 
 def run_prediction_day(
@@ -467,13 +485,17 @@ def run_prediction_day(
     the online controller; WRR / LF / Titan assign per call from the
     first joiner's country.  ``reduced=False`` feeds raw call configs to
     the LP (the Table 4 ablation, which inflates migrations).
+
+    The day's trace is synthesized once as a :class:`CallTable` and
+    every controller consumes it through its batch ``process_table``
+    path (identical, call for call, to the scalar loops).
     """
     if lp_options is None:
         lp_options = JointLpOptions(e2e_bound_ms=day_e2e_bound_ms(day))
     chosen = policies if policies is not None else ("wrr", "lf", "titan", "titan-next")
 
     trace = TraceGenerator(setup.demand, top_n_configs=setup.top_n_configs, seed=seed)
-    calls = trace.calls_for_day(day)
+    table = trace.table_for_day(day)
 
     results: Dict[str, PredictionDayResult] = {}
     for name in chosen:
@@ -483,15 +505,14 @@ def run_prediction_day(
             solved = lp.solve()
             if not solved.is_optimal:
                 raise RuntimeError(f"Titan-Next planning LP failed: {solved.status}")
-            results[name] = _replay_titan_next_day(setup, solved, day, seed, reduced, calls=calls)
+            results[name] = _replay_titan_next_day(setup, solved, day, seed, reduced, table=table)
         else:
             controller = {
                 "wrr": lambda: FirstJoinerWrr(setup.scenario, seed=seed + 2),
                 "lf": lambda: FirstJoinerLf(setup.scenario),
                 "titan": lambda: FirstJoinerTitan(setup.scenario, seed=seed + 3),
             }[name]()
-            assignments = [controller.process(call) for call in calls]
-            results[name] = PredictionDayResult(name, assignments)
+            results[name] = PredictionDayResult(name, controller.process_table(table), controller.stats)
     return results
 
 
@@ -540,9 +561,15 @@ def migration_comparison(
     day: int,
     history_weeks: int = 4,
     seed: int = 73,
-) -> Dict[str, float]:
-    """Table 4: DC-migration rate with vs without reduced call configs."""
-    rates = {}
+) -> Dict[str, Dict[str, float]]:
+    """Table 4: migration behaviour with vs without reduced call configs.
+
+    Returns, per arm (``"reduced"`` / ``"raw"``), the inter-DC
+    migration rate the paper reports plus the cheap routing-option
+    migration rate and the fraction of calls the plan could not place
+    (the §6.4 surge path).
+    """
+    rates: Dict[str, Dict[str, float]] = {}
     for label, reduced in (("reduced", True), ("raw", False)):
         result = run_prediction_day(
             setup,
@@ -553,5 +580,9 @@ def migration_comparison(
             seed=seed,
         )["titan-next"]
         assert result.stats is not None
-        rates[label] = result.stats.dc_migration_rate
+        rates[label] = {
+            "dc_migration_rate": result.stats.dc_migration_rate,
+            "option_migration_rate": result.stats.option_migration_rate,
+            "unplanned_rate": result.stats.unplanned_rate,
+        }
     return rates

@@ -161,14 +161,18 @@ def run_tab4(setup: Optional[EuropeSetup] = None, day: int = 30) -> ExperimentRe
     """Table 4 — migrations with vs without reduced call configs."""
     setup = setup if setup is not None else default_setup()
     rates = migration_comparison(setup, day)
-    reduction = 1.0 - rates["reduced"] / rates["raw"] if rates["raw"] > 0 else 0.0
+    reduced_dc = rates["reduced"]["dc_migration_rate"]
+    raw_dc = rates["raw"]["dc_migration_rate"]
+    reduction = 1.0 - reduced_dc / raw_dc if raw_dc > 0 else 0.0
     return ExperimentResult(
         experiment_id="tab4",
         title="Call migrations: reduced vs raw call configs",
         measured={
-            "migration_rate_with_reduced": round(rates["reduced"], 3),
-            "migration_rate_with_raw": round(rates["raw"], 3),
+            "migration_rate_with_reduced": round(reduced_dc, 3),
+            "migration_rate_with_raw": round(raw_dc, 3),
             "migration_reduction": round(reduction, 3),
+            "option_migration_rate_with_reduced": round(rates["reduced"]["option_migration_rate"], 3),
+            "unplanned_rate_with_reduced": round(rates["reduced"]["unplanned_rate"], 3),
         },
         paper={
             "migration_rate_with_reduced": "0.11-0.19 (avg 0.15)",

@@ -25,7 +25,7 @@ from .media import (
     participant_compute_cores,
     profile,
 )
-from .traces import Call, TraceGenerator
+from .traces import Call, CallTable, TraceGenerator
 
 __all__ = [
     "CallConfig",
@@ -51,5 +51,6 @@ __all__ = [
     "participant_compute_cores",
     "profile",
     "Call",
+    "CallTable",
     "TraceGenerator",
 ]

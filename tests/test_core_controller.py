@@ -68,6 +68,70 @@ class TestOfflinePlan:
         assert offline.sample(0, CallConfig.from_counts({"FR": 1}, AUDIO), rng) is None
 
 
+class TestQuotaAccounting:
+    """Satellite: consume/refund round-trips and exhaustion behaviour."""
+
+    def _plan(self, quota=3.0):
+        config = CallConfig.from_counts({"FR": 1}, AUDIO)
+        plan = OfflinePlan.from_assignment(
+            {
+                (0, config, "westeurope", WAN): quota,
+                (0, config, "france-central", INTERNET): quota,
+            }
+        )
+        return plan, config
+
+    def test_consume_refund_round_trip_restores_peek(self):
+        plan, config = self._plan()
+        before = plan.peek(0, config, "westeurope", WAN)
+        assert plan.consume(0, config, "westeurope", WAN)
+        assert plan.peek(0, config, "westeurope", WAN) == pytest.approx(before - 1.0)
+        plan.refund(0, config, "westeurope", WAN)
+        assert plan.peek(0, config, "westeurope", WAN) == pytest.approx(before)
+
+    def test_consume_never_drives_bucket_below_zero(self):
+        plan, config = self._plan(quota=2.0)
+        assert plan.consume(0, config, "westeurope", WAN)
+        assert plan.consume(0, config, "westeurope", WAN)
+        # Third consume must refuse rather than go negative.
+        assert not plan.consume(0, config, "westeurope", WAN)
+        assert plan.peek(0, config, "westeurope", WAN) >= 0.0
+        # Partial quota below the requested amount is also refused.
+        assert not plan.consume(0, config, "france-central", INTERNET, amount=10.0)
+        assert plan.peek(0, config, "france-central", INTERNET) == pytest.approx(2.0)
+
+    def test_sample_none_once_all_buckets_exhausted(self):
+        plan, config = self._plan(quota=1.0)
+        rng = np.random.default_rng(1)
+        assert plan.consume(0, config, "westeurope", WAN)
+        assert plan.sample(0, config, rng) is not None  # one bucket left
+        assert plan.consume(0, config, "france-central", INTERNET)
+        assert plan.sample(0, config, rng) is None
+        # Refunding brings the entry back into rotation.
+        plan.refund(0, config, "westeurope", WAN)
+        assert plan.sample(0, config, rng) == ("westeurope", WAN)
+
+
+class TestControllerStatsRates:
+    """Satellite: the option-migration and unplanned rate properties."""
+
+    def test_rates(self):
+        from repro.core.controller import ControllerStats
+
+        stats = ControllerStats(calls=200, dc_migrations=30, option_migrations=50, unplanned=8)
+        assert stats.dc_migration_rate == pytest.approx(0.15)
+        assert stats.option_migration_rate == pytest.approx(0.25)
+        assert stats.unplanned_rate == pytest.approx(0.04)
+
+    def test_rates_zero_safe(self):
+        from repro.core.controller import ControllerStats
+
+        stats = ControllerStats()
+        assert stats.dc_migration_rate == 0.0
+        assert stats.option_migration_rate == 0.0
+        assert stats.unplanned_rate == 0.0
+
+
 class TestTitanNextController:
     def test_processes_calls_and_counts(self, small_setup, plan):
         controller = TitanNextController(small_setup.scenario, OfflinePlan.from_assignment(plan))
@@ -107,6 +171,26 @@ class TestTitanNextController:
         call = Call(0, config, 10, 1, "FR")
         assignment = controller.process(call)
         assert not assignment.dc_migrated
+
+    def test_fractional_bucket_not_refunded_into_existence(self, small_setup):
+        """A sampled-but-fractional bucket consumes nothing, so a wrong
+        guess must not refund a full unit into it (that would mint plan
+        quota from nothing on every mismatch)."""
+        video_reduced = CallConfig.from_counts({"FR": 1}, VIDEO)
+        audio_reduced = CallConfig.from_counts({"FR": 1}, AUDIO)
+        plan = OfflinePlan.from_assignment(
+            {
+                (10, video_reduced, "ireland", WAN): 0.4,
+                (10, audio_reduced, "france-central", WAN): 100.0,
+            }
+        )
+        controller = TitanNextController(small_setup.scenario, plan)
+        # Guess is video (0.4 quota: sampled, but less than one unit);
+        # the true config is audio, so reconciliation follows audio's plan.
+        assignment = controller.process(Call(0, CallConfig.from_counts({"FR": 2}, AUDIO), 10, 1, "FR"))
+        assert assignment.initial_dc == "ireland"
+        assert assignment.final_dc == "france-central"
+        assert plan.peek(10, video_reduced, "ireland", WAN) == pytest.approx(0.4)
 
     def test_migration_when_plan_differs(self, small_setup):
         video_reduced = CallConfig.from_counts({"FR": 1}, VIDEO)
@@ -204,5 +288,8 @@ class TestPredictionPipeline:
     def test_migration_comparison_reduced_helps(self, small_setup):
         """Table 4: reduced call configs cut migrations."""
         rates = migration_comparison(small_setup, day=30)
-        assert rates["reduced"] <= rates["raw"]
-        assert rates["raw"] > 0
+        assert rates["reduced"]["dc_migration_rate"] <= rates["raw"]["dc_migration_rate"]
+        assert rates["raw"]["dc_migration_rate"] > 0
+        for arm in ("reduced", "raw"):
+            assert 0.0 <= rates[arm]["option_migration_rate"] <= 1.0
+            assert 0.0 <= rates[arm]["unplanned_rate"] <= 1.0

@@ -262,3 +262,15 @@ class TestTraceGenerator:
         generator = TraceGenerator(demand)
         with pytest.raises(ValueError):
             generator.calls_for_window(0, -1)
+
+    def test_duration_distribution(self, demand):
+        """Durations are geometric(0.6) clipped to [1, 6]: median ~1 slot."""
+        generator = TraceGenerator(demand, top_n_configs=50, seed=3)
+        durations = np.array(
+            [c.duration_slots for c in generator.calls_for_window(18, 6)]
+        )
+        assert durations.min() >= 1
+        assert durations.max() <= 6
+        assert np.median(durations) == 1
+        # P(duration == 1) = 0.6 for the clipped geometric.
+        assert 0.5 < (durations == 1).mean() < 0.7
