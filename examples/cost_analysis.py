@@ -12,7 +12,7 @@ Run:
 """
 
 from repro.analysis.cost import GCP_SINGAPORE, compare_costs
-from repro.analysis.metrics import evaluate_assignment
+from repro.analysis.metrics import evaluate_batch
 from repro.analysis.reporting import bar_chart, format_table
 from repro.core.policies import LocalityFirstPolicy, TitanNextPolicy, TitanPolicy, WrrPolicy
 from repro.core.titan_next import build_europe_setup, oracle_demand_for_day
@@ -33,7 +33,7 @@ def main() -> None:
         TitanNextPolicy(setup.scenario),
     ):
         assignment = policy.assign(demand)
-        results[policy.name] = evaluate_assignment(setup.scenario, assignment, policy.name)
+        results[policy.name] = evaluate_batch(setup.scenario, assignment, policy.name)
 
     table = compare_costs(results, reference="wrr")
     print(format_table(

@@ -15,7 +15,7 @@ Run:
     python examples/joint_assignment.py
 """
 
-from repro.analysis.metrics import evaluate_assignment, normalize_to
+from repro.analysis.metrics import normalize_to
 from repro.core.titan_next import build_europe_setup, migration_comparison, run_prediction_day
 
 
@@ -29,7 +29,7 @@ def main() -> None:
 
     peaks = {}
     for name, outcome in results.items():
-        evaluation = evaluate_assignment(setup.scenario, outcome.realized_table(), name)
+        evaluation = outcome.evaluate(setup.scenario)
         peaks[name] = evaluation.sum_of_peaks_gbps
 
     print("Sum of peak WAN bandwidth, normalized to WRR (Fig 15 style):")

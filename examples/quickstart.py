@@ -10,7 +10,7 @@ Run:
     python examples/quickstart.py
 """
 
-from repro.analysis.metrics import evaluate_assignment, normalize_to
+from repro.analysis.metrics import evaluate_batch, normalize_to
 from repro.core.policies import LocalityFirstPolicy, TitanNextPolicy, TitanPolicy, WrrPolicy
 from repro.core.titan_next import build_europe_setup, oracle_demand_for_day
 
@@ -37,7 +37,7 @@ def main() -> None:
     print(f"{'policy':<12} {'sum-of-peaks':>13} {'total WAN':>10} {'mean E2E':>9} {'P95 E2E':>9}")
     for policy in policies:
         assignment = policy.assign(demand)
-        result = evaluate_assignment(scenario, assignment, policy.name)
+        result = evaluate_batch(scenario, assignment, policy.name)
         peaks[policy.name] = result.sum_of_peaks_gbps
         print(
             f"{policy.name:<12} {result.sum_of_peaks_gbps:>10.3f} Gb "

@@ -1,9 +1,23 @@
 """Evaluation layer: statistics helpers and the §7.1 metrics."""
 
 from .cost import GCP_SINGAPORE, CostReport, Tariff, compare_costs, cost_of, internet_traffic_gb
-from .metrics import EvaluationResult, LoadMatrix, evaluate_assignment, normalize_to, savings_vs
+from .metrics import (
+    EvaluationResult,
+    LoadMatrix,
+    evaluate_assignment,
+    evaluate_batch,
+    normalize_to,
+    savings_vs,
+)
 from .reporting import bar_chart, cdf_sparkline, format_table, policy_comparison
-from .stats import cdf_at, cdf_points, hourly_medians, summarize, weighted_percentile
+from .stats import (
+    cdf_at,
+    cdf_points,
+    hourly_medians,
+    summarize,
+    weighted_percentile,
+    weighted_percentiles,
+)
 
 __all__ = [
     "GCP_SINGAPORE",
@@ -19,6 +33,7 @@ __all__ = [
     "EvaluationResult",
     "LoadMatrix",
     "evaluate_assignment",
+    "evaluate_batch",
     "normalize_to",
     "savings_vs",
     "cdf_at",
@@ -26,4 +41,5 @@ __all__ = [
     "hourly_medians",
     "summarize",
     "weighted_percentile",
+    "weighted_percentiles",
 ]

@@ -74,29 +74,30 @@ class CostReport:
         return self.counterfactual_wan_cost - self.internet_egress_cost
 
 
-def _slot_hours(result: EvaluationResult, slots_per_day: int = 48) -> float:
-    # One 30-minute slot = 0.5 h; load matrices are keyed per slot.
-    return 0.5
-
-
 def internet_traffic_gb(result: EvaluationResult, slots_per_day: int = 48) -> float:
     """Total Internet egress in GB over the evaluated horizon.
 
-    Loads are Gbit/s sustained over 30-minute slots:
-    GB = Gbps × 1800 s / 8 bits.
+    Loads are Gbit/s sustained over one slot; a day of
+    ``slots_per_day`` slots makes a slot ``86400 / slots_per_day``
+    seconds long (1800 s at the default 30-minute granularity), so
+    GB = Gbps × slot seconds / 8 bits.
     """
+    if slots_per_day <= 0:
+        raise ValueError("slots_per_day must be positive")
+    slot_seconds = 86400.0 / slots_per_day
     gbps_slots = sum(result.internet_loads.values())
-    return gbps_slots * 1800.0 / 8.0
+    return gbps_slots * slot_seconds / 8.0
 
 
 def cost_of(
     result: EvaluationResult,
     tariff: Optional[Tariff] = None,
+    slots_per_day: int = 48,
 ) -> CostReport:
     """Price one policy's evaluated assignment under a tariff."""
     tariff = tariff if tariff is not None else GCP_SINGAPORE
     peak_cost = result.sum_of_peaks_gbps * tariff.wan_per_peak_gbps
-    egress_gb = internet_traffic_gb(result)
+    egress_gb = internet_traffic_gb(result, slots_per_day=slots_per_day)
     internet_cost = egress_gb * tariff.internet_per_gb
     counterfactual = egress_gb * tariff.wan_per_gb_equivalent
     return CostReport(
@@ -111,9 +112,13 @@ def compare_costs(
     results: Mapping[str, EvaluationResult],
     tariff: Optional[Tariff] = None,
     reference: str = "wrr",
+    slots_per_day: int = 48,
 ) -> Dict[str, Dict[str, float]]:
     """Side-by-side cost table normalized to a reference policy."""
-    reports = {name: cost_of(result, tariff) for name, result in results.items()}
+    reports = {
+        name: cost_of(result, tariff, slots_per_day=slots_per_day)
+        for name, result in results.items()
+    }
     if reference not in reports:
         raise KeyError(f"reference policy {reference!r} missing")
     ref_total = reports[reference].total

@@ -24,9 +24,17 @@ def cdf_at(values: Sequence[float], threshold: float) -> float:
     return float(np.mean(data <= threshold))
 
 
-def weighted_percentile(values: Sequence[float], weights: Sequence[float], q: float) -> float:
-    """Weighted percentile (q in [0, 100]) by cumulative weight."""
-    if not 0.0 <= q <= 100.0:
+def weighted_percentiles(
+    values: Sequence[float], weights: Sequence[float], qs: Sequence[float]
+) -> np.ndarray:
+    """Weighted percentiles (each q in [0, 100]) by cumulative weight.
+
+    One sort serves every requested quantile, so callers scoring
+    ``(value, weight)`` sample arrays (the §7.1 latency stats) get
+    mean/median/P95 without re-sorting per statistic.
+    """
+    q = np.asarray(qs, dtype=float)
+    if not np.all((q >= 0.0) & (q <= 100.0)):  # NaN fails both comparisons
         raise ValueError("q must be in [0, 100]")
     v = np.asarray(values, dtype=float)
     w = np.asarray(weights, dtype=float)
@@ -42,8 +50,13 @@ def weighted_percentile(values: Sequence[float], weights: Sequence[float], q: fl
     if total <= 0:
         raise ValueError("weights sum to zero")
     cum = np.cumsum(w) / total
-    idx = int(np.searchsorted(cum, q / 100.0, side="left"))
-    return float(v[min(idx, v.size - 1)])
+    idx = np.minimum(np.searchsorted(cum, q / 100.0, side="left"), v.size - 1)
+    return v[idx]
+
+
+def weighted_percentile(values: Sequence[float], weights: Sequence[float], q: float) -> float:
+    """Weighted percentile (q in [0, 100]) by cumulative weight."""
+    return float(weighted_percentiles(values, weights, [q])[0])
 
 
 def hourly_medians(samples: Dict[int, List[float]]) -> Dict[int, float]:

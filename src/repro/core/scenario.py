@@ -28,6 +28,33 @@ from ..workload.configs import CallConfig
 from ..workload.demand import SLOTS_PER_DAY, ConfigUniverse, DemandModel
 from .capacity import InternetCapacityBook
 
+#: Routing options in evaluation-array index order (0 = WAN, 1 = INTERNET).
+EVAL_OPTION_ORDER: Tuple[str, str] = (WAN, INTERNET)
+
+
+@dataclass(frozen=True)
+class ScenarioEvalTables:
+    """Dense per-config coefficient tables for batch evaluation (§7.1).
+
+    Everything the vectorized scorer needs, precomputed once per
+    (scenario, config universe) pair:
+
+    * ``e2e_ms[config, dc, option]`` — max-E2E latency of a config at a
+      (DC, routing option), options in :data:`EVAL_OPTION_ORDER`;
+    * participant bandwidth in CSR form over configs: entry ``k`` in
+      ``[part_ptr[j], part_ptr[j + 1])`` says config ``j`` contributes
+      ``part_bw[k]`` Gbps per call from country ``part_country[k]``
+      (an index into ``Scenario.country_codes``; zero-bandwidth
+      participants are dropped, matching the scalar evaluator's
+      ``bw <= 0`` skip).
+    """
+
+    configs: Tuple[CallConfig, ...]
+    e2e_ms: np.ndarray
+    part_ptr: np.ndarray
+    part_country: np.ndarray
+    part_bw: np.ndarray
+
 
 class Scenario:
     """Shared evaluation context for WRR / LF / Titan / Titan-Next."""
@@ -61,10 +88,15 @@ class Scenario:
             compute_caps = {code: float(world.dc(code).compute_cores) for code in dc_codes}
         self.compute_caps = dict(compute_caps)
 
+        self.country_index: Dict[str, int] = {c: i for i, c in enumerate(self.country_codes)}
+        self.dc_index: Dict[str, int] = {d: i for i, d in enumerate(self.dc_codes)}
+
         self._one_way: Dict[Tuple[str, str, str], float] = {}
         self._links: Dict[Tuple[str, str], List[WanLink]] = {}
         self._link_index: Dict[FrozenSet[str], int] = {}
         self._all_links: List[WanLink] = []
+        self._eval_tables: Dict[Tuple[int, ...], ScenarioEvalTables] = {}
+        self._link_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._build_link_table()
 
     # -- links -------------------------------------------------------------
@@ -90,6 +122,79 @@ class Scenario:
     def link_indices(self, country_code: str, dc_code: str) -> List[int]:
         """Indices (into ``wan_links``) charged by WAN routing of a pair."""
         return [self._link_index[l.key] for l in self._links[(country_code, dc_code)]]
+
+    def link_incidence_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """WAN link incidence as CSR over (country, DC) pair ids.
+
+        Pair id ``country_index * len(dc_codes) + dc_index`` owns the
+        link indices ``flat[ptr[pair] : ptr[pair + 1]]`` — the links its
+        WAN route is charged on.  Lets a batch evaluator scatter-add all
+        WAN loads onto the dense (link, slot) grid in one ``np.add.at``.
+        """
+        if self._link_csr is None:
+            ptr = np.zeros(len(self.country_codes) * len(self.dc_codes) + 1, dtype=np.int64)
+            flat: List[int] = []
+            pair = 0
+            for country in self.country_codes:
+                for dc in self.dc_codes:
+                    flat.extend(self.link_indices(country, dc))
+                    pair += 1
+                    ptr[pair] = len(flat)
+            self._link_csr = (ptr, np.asarray(flat, dtype=np.int64))
+        return self._link_csr
+
+    # -- evaluation tables ---------------------------------------------------
+
+    #: Retained :meth:`eval_tables` entries; a long-lived scenario fed
+    #: many distinct per-day config subsets evicts oldest-first.
+    EVAL_TABLE_CACHE_SIZE = 64
+
+    def eval_tables(self, configs: Sequence[CallConfig]) -> ScenarioEvalTables:
+        """Cached :class:`ScenarioEvalTables` for an interned config tuple.
+
+        Keyed on the config *identities* (``CallConfig`` hashing is not
+        cached, and callers reuse interned instances — a
+        :class:`~repro.workload.traces.CallTable`'s ``configs``, or one
+        demand table's config objects across policies), so repeated
+        scoring over one universe builds the coefficient arrays once
+        and lookups stay O(n) int hashing.  The cached value keeps the
+        config tuple alive, which is what keeps its ids valid as keys.
+        """
+        key = tuple(map(id, configs))
+        tables = self._eval_tables.get(key)
+        if tables is None:
+            tables = self._build_eval_tables(tuple(configs))
+            while len(self._eval_tables) >= self.EVAL_TABLE_CACHE_SIZE:
+                self._eval_tables.pop(next(iter(self._eval_tables)))
+            self._eval_tables[key] = tables
+        return tables
+
+    def _build_eval_tables(self, configs: Tuple[CallConfig, ...]) -> ScenarioEvalTables:
+        e2e = np.empty((len(configs), len(self.dc_codes), len(EVAL_OPTION_ORDER)))
+        ptr = np.zeros(len(configs) + 1, dtype=np.int64)
+        countries: List[int] = []
+        bws: List[float] = []
+        for j, config in enumerate(configs):
+            for d, dc in enumerate(self.dc_codes):
+                for o, option in enumerate(EVAL_OPTION_ORDER):
+                    e2e[j, d, o] = self.e2e_latency_ms(config, dc, option)
+            for country, _ in config.participants:
+                bw = config.country_bandwidth_gbps(country)
+                if bw <= 0:
+                    continue
+                index = self.country_index.get(country)
+                if index is None:
+                    raise KeyError(f"config country {country!r} is not part of the scenario")
+                countries.append(index)
+                bws.append(bw)
+            ptr[j + 1] = len(countries)
+        return ScenarioEvalTables(
+            configs,
+            e2e,
+            ptr,
+            np.asarray(countries, dtype=np.int64),
+            np.asarray(bws, dtype=float),
+        )
 
     # -- latency -------------------------------------------------------------
 

@@ -349,8 +349,12 @@ def run_oracle_day(
     the oracle run consume the exact call realization of a §8
     controller run: the :class:`CallTable` is aggregated back into the
     per-(slot, reduced config) demand table the policies plan on.
+
+    Scoring runs through the vectorized
+    :func:`~repro.analysis.metrics.evaluate_batch` path (the scalar
+    ``evaluate_assignment`` reference reproduces it entry for entry).
     """
-    from ..analysis.metrics import evaluate_assignment
+    from ..analysis.metrics import evaluate_batch
 
     if demand is None:
         if trace is not None:
@@ -386,7 +390,7 @@ def run_oracle_day(
         else:
             policy = registry[name]()
             assignment = policy.assign(demand)
-        results[name] = evaluate_assignment(setup.scenario, assignment, name)
+        results[name] = evaluate_batch(setup.scenario, assignment, name)
     return results
 
 
@@ -446,6 +450,22 @@ class PredictionDayResult:
             key = (a.call.start_slot % slots_per_day, a.call.config, a.final_dc, a.final_option)
             table[key] = table.get(key, 0.0) + 1.0
         return table
+
+    def evaluate(self, scenario: Scenario, slots_per_day: int = SLOTS_PER_DAY):
+        """Score this day through the vectorized evaluation path.
+
+        An :class:`AssignmentBatch` is scored straight off its parallel
+        arrays (no dict-table round trip); a scalar assignment list
+        falls back to its realized table.  Returns an
+        :class:`~repro.analysis.metrics.EvaluationResult`.
+        """
+        from ..analysis.metrics import evaluate_batch
+
+        if isinstance(self.assignments, AssignmentBatch):
+            return evaluate_batch(
+                scenario, self.assignments, self.policy, slots_per_day=slots_per_day
+            )
+        return evaluate_batch(scenario, self.realized_table(slots_per_day), self.policy)
 
 
 def _replay_titan_next_day(

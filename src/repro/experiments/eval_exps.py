@@ -10,7 +10,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..analysis.metrics import evaluate_assignment, normalize_to, savings_vs
+from ..analysis.metrics import evaluate_batch, normalize_to, savings_vs
 from ..core.forecast import forecast_day, normalized_errors
 from ..core.lp import JointAssignmentLp, JointLpOptions
 from ..core.titan_next import (
@@ -25,7 +25,14 @@ from ..core.titan_next import (
 from ..workload.demand import SLOTS_PER_DAY
 from .base import ExperimentResult
 
-WEEK_LABELS = ("Wed", "Thu", "Fri", "Sat", "Sun", "Mon", "Tue")
+#: Weekday names indexed by ``day % 7`` (day 0 is a Monday; the §7.5
+#: weekend E2E relaxation at ``day % 7 >= 5`` lands on Sat/Sun).
+WEEKDAY_LABELS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+def weekday_label(day: int) -> str:
+    """The calendar weekday of an absolute simulation day."""
+    return WEEKDAY_LABELS[day % 7]
 
 
 def default_setup(daily_calls: float = 6_000.0, top_n_configs: int = 60) -> EuropeSetup:
@@ -33,24 +40,34 @@ def default_setup(daily_calls: float = 6_000.0, top_n_configs: int = 60) -> Euro
     return build_europe_setup(daily_calls=daily_calls, top_n_configs=top_n_configs)
 
 
-def run_fig14(setup: Optional[EuropeSetup] = None, days: int = 7) -> ExperimentResult:
-    """Fig 14 — oracle sum-of-peaks per day, normalized to WRR."""
-    setup = setup if setup is not None else default_setup()
-    week = run_oracle_week(setup, days=days)
+def fig14_measured(week) -> Dict[str, object]:
+    """Aggregate a ``run_oracle_week`` result into the Fig 14 rows.
+
+    Rows are labeled by each day's actual weekday (``day % 7``) and
+    every simulated day is included — no truncation or mislabeling
+    when the sweep is shorter or longer than seven days.
+    """
     normalized_rows: Dict[str, Dict[str, float]] = {}
     weekday_savings = {"lf": [], "titan-next": []}
-    for (day, results), label in zip(week.items(), WEEK_LABELS):
+    for day, results in week.items():
         peaks = {name: r.sum_of_peaks_gbps for name, r in results.items()}
         normalized = normalize_to(peaks, "wrr")
+        label = f"{weekday_label(day)} (day {day})"
         normalized_rows[label] = {k: round(v, 3) for k, v in normalized.items()}
         if day % 7 < 5:
             weekday_savings["titan-next"].append(1 - normalized["titan-next"])
             weekday_savings["lf"].append(normalized["lf"] - normalized["titan-next"])
-    measured = {
+    return {
         "normalized_peaks_by_day": normalized_rows,
         "tn_savings_vs_wrr_weekdays": [round(v, 3) for v in weekday_savings["titan-next"]],
         "tn_savings_vs_lf_weekdays": [round(v, 3) for v in weekday_savings["lf"]],
     }
+
+
+def run_fig14(setup: Optional[EuropeSetup] = None, days: int = 7) -> ExperimentResult:
+    """Fig 14 — oracle sum-of-peaks per day, normalized to WRR."""
+    setup = setup if setup is not None else default_setup()
+    measured = fig14_measured(run_oracle_week(setup, days=days))
     return ExperimentResult(
         experiment_id="fig14",
         title="Oracle: sum of peak WAN bandwidth per day",
@@ -91,8 +108,7 @@ def run_fig15(setup: Optional[EuropeSetup] = None, day: int = 30) -> ExperimentR
     setup = setup if setup is not None else default_setup()
     results = run_prediction_day(setup, day)
     peaks = {
-        name: evaluate_assignment(setup.scenario, r.realized_table(), name).sum_of_peaks_gbps
-        for name, r in results.items()
+        name: r.evaluate(setup.scenario).sum_of_peaks_gbps for name, r in results.items()
     }
     normalized = {k: round(v, 3) for k, v in normalize_to(peaks, "wrr").items()}
     measured = {
@@ -193,11 +209,11 @@ def run_ablation_mp_only(setup: Optional[EuropeSetup] = None, day: int = 2) -> E
     demand = oracle_demand_for_day(setup, day)
     from ..core.policies import TitanNextPolicy, WrrPolicy
 
-    wrr = evaluate_assignment(setup.scenario, WrrPolicy(setup.scenario).assign(demand), "wrr")
-    full = evaluate_assignment(
+    wrr = evaluate_batch(setup.scenario, WrrPolicy(setup.scenario).assign(demand), "wrr")
+    full = evaluate_batch(
         setup.scenario, TitanNextPolicy(setup.scenario).assign(demand), "tn"
     )
-    mp_only = evaluate_assignment(
+    mp_only = evaluate_batch(
         setup.scenario,
         TitanNextPolicy(setup.scenario, JointLpOptions(allow_internet=False)).assign(demand),
         "tn-mp-only",
@@ -222,9 +238,9 @@ def run_ablation_double_internet(setup: Optional[EuropeSetup] = None, day: int =
     demand = oracle_demand_for_day(setup, day)
     from ..core.policies import TitanNextPolicy, WrrPolicy
 
-    wrr = evaluate_assignment(setup.scenario, WrrPolicy(setup.scenario).assign(demand), "wrr")
-    base = evaluate_assignment(setup.scenario, TitanNextPolicy(setup.scenario).assign(demand), "tn")
-    doubled = evaluate_assignment(
+    wrr = evaluate_batch(setup.scenario, WrrPolicy(setup.scenario).assign(demand), "wrr")
+    base = evaluate_batch(setup.scenario, TitanNextPolicy(setup.scenario).assign(demand), "tn")
+    doubled = evaluate_batch(
         setup.scenario,
         TitanNextPolicy(setup.scenario, JointLpOptions(internet_capacity_factor=2.0)).assign(demand),
         "tn-2x",
@@ -246,12 +262,12 @@ def run_ablation_lf_e2e(setup: Optional[EuropeSetup] = None, day: int = 2) -> Ex
     demand = oracle_demand_for_day(setup, day)
     from ..core.policies import LocalityFirstPolicy, TitanNextPolicy
 
-    lf_e2e = evaluate_assignment(
+    lf_e2e = evaluate_batch(
         setup.scenario,
         LocalityFirstPolicy(setup.scenario, objective="total_e2e").assign(demand),
         "lf-e2e",
     )
-    tn = evaluate_assignment(setup.scenario, TitanNextPolicy(setup.scenario).assign(demand), "tn")
+    tn = evaluate_batch(setup.scenario, TitanNextPolicy(setup.scenario).assign(demand), "tn")
     return ExperimentResult(
         experiment_id="abl-e2e",
         title="TN vs LF optimizing total max-E2E latency",
@@ -268,8 +284,8 @@ def run_ablation_single_dc(setup: Optional[EuropeSetup] = None, day: int = 2) ->
     demand = oracle_demand_for_day(setup, day)
     from ..core.policies import TitanNextPolicy
 
-    free = evaluate_assignment(setup.scenario, TitanNextPolicy(setup.scenario).assign(demand), "tn")
-    pinned = evaluate_assignment(
+    free = evaluate_batch(setup.scenario, TitanNextPolicy(setup.scenario).assign(demand), "tn")
+    pinned = evaluate_batch(
         setup.scenario,
         TitanNextPolicy(setup.scenario, JointLpOptions(single_dc_per_config=True)).assign(demand),
         "tn-single-dc",
@@ -344,7 +360,7 @@ def run_ablation_fiber_cut(day: int = 2, daily_calls: float = 6_000.0, top_n_con
     )
     demand = oracle_demand_for_day(setup, day)
 
-    before = evaluate_assignment(
+    before = evaluate_batch(
         setup.scenario, TitanNextPolicy(setup.scenario).assign(demand), "tn"
     )
 
@@ -369,7 +385,7 @@ def run_ablation_fiber_cut(day: int = 2, daily_calls: float = 6_000.0, top_n_con
         setup.capacity_book,
         compute_caps=setup.scenario.compute_caps,
     )
-    after = evaluate_assignment(
+    after = evaluate_batch(
         degraded_scenario, TitanNextPolicy(degraded_scenario).assign(demand), "tn-cut"
     )
     topology.restore_link(cut)
