@@ -99,6 +99,20 @@ class Scenario:
         self._link_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._build_link_table()
 
+    def __getstate__(self):
+        """Pickle without the evaluation caches.
+
+        ``_eval_tables`` is keyed on config object *ids*, which are
+        meaningless (and collision-prone) in another process — a sweep
+        worker must rebuild its own tables, which also keeps the
+        payload shipped to each worker small.  ``_link_csr`` is derived
+        and rebuilt on demand.
+        """
+        state = self.__dict__.copy()
+        state["_eval_tables"] = {}
+        state["_link_csr"] = None
+        return state
+
     # -- links -------------------------------------------------------------
 
     def _build_link_table(self) -> None:

@@ -1,0 +1,413 @@
+"""Parallel sweep engine: fan §7/§8 day work across workers.
+
+A multi-day evaluation sweep has exactly one inherently sequential
+piece: the planning loop.  ``PlanCache(reuse_basis=True)`` keeps one
+HiGHS model hot and hot-starts each day's solve from the previous day's
+optimal basis, so day ``d+1``'s solve depends on day ``d`` having run.
+Everything else — Holt-Winters forecasting, trace synthesis, controller
+replay, and §7.1 scoring — is a pure function of ``(setup, day, seed)``
+because every random draw in the pipeline is counter-based Philox keyed
+on ``(seed, config, slot)``: no generator state crosses day boundaries,
+so per-day work can run in any order, on any worker, and reproduce the
+serial loop byte for byte.
+
+:class:`SweepRunner` splits a sweep accordingly:
+
+1. **parallel forecast phase** — per-day predicted demand tables fanned
+   over the pool;
+2. **serial planning phase** — the shared :class:`PlanCache` loop in
+   the parent process (basis hot-start is the whole point of it);
+3. **parallel replay phase** — per-day trace synthesis +
+   ``process_table`` controller replay + (optionally)
+   ``evaluate_batch`` scoring fanned over the pool.
+
+Workers are process-backed by default (``backend="process"``); each
+worker rebuilds its :class:`EuropeSetup` from one pickled payload in
+the pool initializer, so ``Scenario.eval_tables`` / trace-generator
+caches are worker-local (the id-keyed evaluation cache must never
+travel between processes — :class:`~repro.core.scenario.Scenario`
+drops it on pickle).  ``backend="thread"`` shares the parent's setup
+(useful when the replay is numpy-dominated or processes are
+unavailable); ``workers=1`` runs inline and *is* the pinned serial
+reference path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..workload.configs import CallConfig
+from ..workload.traces import TraceGenerator
+from .lp import AssignmentTable, JointLpOptions
+
+#: Demand/forecast table: ``(slot of day, config) -> call count``.
+DemandTable = Dict[Tuple[int, CallConfig], float]
+
+#: Baseline first-joiner policies every §8 window can replay.
+PREDICTION_POLICIES: Tuple[str, ...] = ("wrr", "lf", "titan", "titan-next")
+
+
+def available_workers() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _resolve_workers(workers) -> int:
+    if workers is None or workers == "auto":
+        return available_workers()
+    count = int(workers)
+    if count < 1:
+        raise ValueError("workers must be >= 1 (or 'auto')")
+    return count
+
+
+# ---------------------------------------------------------------------------
+# Worker-side state and task functions
+# ---------------------------------------------------------------------------
+
+
+class _WorkerState:
+    """Per-worker context: the setup plus per-seed trace generators.
+
+    The generator cache is what turns "fresh :class:`TraceGenerator`
+    per day" into "one generator per worker": its per-config Philox
+    keys and first-joiner tables are built once and reused for every
+    day the worker replays (streams are (config, slot)-addressed, so
+    sharing the generator across days changes nothing).
+    """
+
+    def __init__(self, setup) -> None:
+        self.setup = setup
+        self._generators: Dict[int, TraceGenerator] = {}
+
+    def trace_generator(self, seed: int) -> TraceGenerator:
+        generator = self._generators.get(seed)
+        if generator is None:
+            generator = TraceGenerator(
+                self.setup.demand, top_n_configs=self.setup.top_n_configs, seed=seed
+            )
+            self._generators[seed] = generator
+        return generator
+
+
+#: Process-pool worker context, set once by :func:`_init_worker`.
+_WORKER_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: build this worker's setup from the pickle.
+
+    Run once per worker process.  Unpickling (rather than inheriting a
+    forked reference) guarantees the worker owns fresh ``Scenario``
+    caches regardless of the multiprocessing start method.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = _WorkerState(pickle.loads(payload))
+
+
+def _state_or_worker(state: Optional[_WorkerState]) -> _WorkerState:
+    resolved = state if state is not None else _WORKER_STATE
+    if resolved is None:
+        raise RuntimeError("sweep task invoked outside a SweepRunner pool")
+    return resolved
+
+
+def _forecast_day_task(task, state: Optional[_WorkerState] = None):
+    """(day, history_weeks, reduced) -> (day, predicted demand table)."""
+    from .titan_next import predicted_demand_for_day
+
+    day, history_weeks, reduced = task
+    worker = _state_or_worker(state)
+    return day, predicted_demand_for_day(worker.setup, day, history_weeks, reduced=reduced)
+
+
+def _replay_day_task(task, state: Optional[_WorkerState] = None):
+    """Replay one §8 day: synthesize the trace once, run each policy.
+
+    ``task`` is ``(day, plan_assignment, policies, seed, reduced,
+    evaluate)``; returns ``(day, {policy: PredictionDayResult})``,
+    identical to what :func:`~repro.core.titan_next.run_prediction_day`
+    produces for the same day and seed.
+    """
+    from .titan_next import _prediction_day_result
+
+    day, plan_assignment, policies, seed, reduced, evaluate = task
+    worker = _state_or_worker(state)
+    table = worker.trace_generator(seed).table_for_day(day)
+    results = {}
+    for name in policies:
+        result = _prediction_day_result(
+            worker.setup, name, table, seed, reduced, plan_assignment=plan_assignment
+        )
+        if evaluate:
+            result.evaluation = result.evaluate(worker.setup.scenario)
+        results[name] = result
+    return day, results
+
+
+def _oracle_day_task(task, state: Optional[_WorkerState] = None):
+    """Score one §7 oracle day for a set of policies.
+
+    ``task`` is ``(day, demand, titan_next_assignment, policies)``;
+    ``titan_next_assignment`` carries the serial planning phase's
+    cached-LP optimum (``None`` lets the worker solve a fresh LP, the
+    ``use_plan_cache=False`` path).
+    """
+    from .titan_next import run_oracle_day
+
+    day, demand, tn_assignment, policies = task
+    worker = _state_or_worker(state)
+    return day, run_oracle_day(
+        worker.setup,
+        day,
+        policies=policies,
+        demand=demand,
+        titan_next_assignment=tn_assignment,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The runner
+# ---------------------------------------------------------------------------
+
+
+class SweepRunner:
+    """Multi-day §7/§8 sweeps with a worker pool over the per-day phase.
+
+    ``workers=1`` (the default) runs everything inline — that *is* the
+    serial reference; any higher worker count must reproduce it byte
+    for byte, which the counter-based randomness guarantees and
+    ``tests/test_sweep_parallel.py`` pins.
+
+    ``backend`` is ``"process"`` (default for ``workers > 1``),
+    ``"thread"``, or ``"serial"``; ``workers="auto"`` uses the CPUs the
+    process is allowed to run on.  The runner itself is cheap — it owns
+    no pool between calls, so it can be kept around or rebuilt freely.
+    """
+
+    def __init__(self, setup, workers=1, backend: Optional[str] = None, mp_context=None) -> None:
+        self.setup = setup
+        self.workers = _resolve_workers(workers)
+        if backend is None:
+            backend = "process" if self.workers > 1 else "serial"
+        if backend not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown sweep backend {backend!r}")
+        if self.workers == 1:
+            backend = "serial"
+        self.backend = backend
+        self.mp_context = mp_context
+        # Inline/thread execution state: shares the caller's setup, so
+        # serial sweeps also reuse one TraceGenerator across days.
+        self._state = _WorkerState(setup)
+
+    # -- pool plumbing -----------------------------------------------------
+
+    @contextmanager
+    def worker_pool(self, tasks_hint: int):
+        """One executor shared by several :meth:`map_days` calls.
+
+        A multi-phase sweep (forecast fan-out, serial planning, replay
+        fan-out) should spawn its process workers — and unpickle the
+        setup payload in each — once per sweep, not once per phase;
+        pass the yielded pool to each phase.  Yields ``None`` (inline
+        execution) for serial runners or single-task hints.
+        """
+        if self.backend == "serial" or tasks_hint <= 1:
+            yield None
+            return
+        workers = min(self.workers, tasks_hint)
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                yield pool
+            return
+        payload = pickle.dumps(self.setup)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=self.mp_context,
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            yield pool
+
+    def map_days(self, fn: Callable, tasks: Sequence, pool=None) -> List:
+        """Run ``fn`` over per-day tasks, in task order.
+
+        Tasks must be independent (the per-day §7/§8 work is, by the
+        Philox counter-keying contract).  A single task — or a serial
+        runner — executes inline; ``pool`` reuses an executor from
+        :meth:`worker_pool` instead of opening one per call.
+        """
+        tasks = list(tasks)
+        if self.backend == "serial" or len(tasks) <= 1:
+            return [fn(task, state=self._state) for task in tasks]
+        if self.backend == "thread":
+            fn = partial(fn, state=self._state)
+        if pool is not None:
+            return list(pool.map(fn, tasks))
+        with self.worker_pool(len(tasks)) as opened:
+            return list(opened.map(fn, tasks))
+
+    # -- §8 prediction sweeps ----------------------------------------------
+
+    def forecast_days(
+        self, days: Sequence[int], history_weeks: int = 4, reduced: bool = True, pool=None
+    ) -> Dict[int, DemandTable]:
+        """Parallel phase 1: per-day Holt-Winters forecast tables."""
+        tasks = [(day, history_weeks, reduced) for day in days]
+        return dict(self.map_days(_forecast_day_task, tasks, pool=pool))
+
+    def plan_days(
+        self,
+        predictions: Dict[int, DemandTable],
+        lp_options: Optional[JointLpOptions] = None,
+    ) -> Dict[int, AssignmentTable]:
+        """Serial phase 2: the shared hot-started planning loop.
+
+        One :class:`~repro.core.titan_next.PlanCache` covers the union
+        of predicted configs; each day refreshes the C1/C4 RHS and
+        hot-starts HiGHS from the previous day's optimal basis — which
+        is why this phase stays in the parent process, in day order.
+        When ``lp_options`` is omitted each day gets the §7.5
+        weekday/weekend E2E bound.
+        """
+        from .titan_next import PlanCache, day_e2e_bound_ms
+
+        configs = sorted({c for table in predictions.values() for _, c in table}, key=str)
+        if not configs:
+            raise ValueError("no predicted demand across the requested days")
+        base_options = lp_options if lp_options is not None else JointLpOptions()
+        cache = PlanCache(self.setup.scenario, configs, options=base_options, reuse_basis=True)
+        plans: Dict[int, AssignmentTable] = {}
+        for day, prediction in predictions.items():
+            bound = lp_options.e2e_bound_ms if lp_options is not None else day_e2e_bound_ms(day)
+            solved = cache.solve_day(prediction, e2e_bound_ms=bound)
+            if not solved.is_optimal:
+                raise RuntimeError(f"Titan-Next planning LP failed for day {day}: {solved.status}")
+            plans[day] = solved.assignment
+        return plans
+
+    def replay_days(
+        self,
+        days: Sequence[int],
+        plans: Optional[Dict[int, AssignmentTable]] = None,
+        policies: Sequence[str] = ("titan-next",),
+        seed: int = 71,
+        reduced: bool = True,
+        evaluate: bool = False,
+        pool=None,
+    ) -> Dict[int, Dict[str, "PredictionDayResult"]]:
+        """Parallel phase 3: per-day trace synthesis + controller replay.
+
+        Each worker synthesizes the day's :class:`CallTable` once (one
+        generator per worker, reused across its days) and feeds it to
+        every requested controller's ``process_table``.  With
+        ``evaluate=True`` the worker also scores each result through
+        ``evaluate_batch`` (worker-local ``Scenario.eval_tables``) and
+        attaches it as ``PredictionDayResult.evaluation``.
+        """
+        plans = plans if plans is not None else {}
+        chosen = tuple(policies)
+        tasks = [(day, plans.get(day), chosen, seed, reduced, evaluate) for day in days]
+        return dict(self.map_days(_replay_day_task, tasks, pool=pool))
+
+    def run_prediction_window(
+        self,
+        days: Sequence[int],
+        policies: Optional[Sequence[str]] = None,
+        history_weeks: int = 4,
+        lp_options: Optional[JointLpOptions] = None,
+        reduced: bool = True,
+        seed: int = 71,
+        evaluate: bool = False,
+    ) -> Dict[int, Dict[str, "PredictionDayResult"]]:
+        """The §8 experiment for every (day, policy) in a window.
+
+        Per (day, policy) the output is identical to
+        :func:`~repro.core.titan_next.run_prediction_day` — same trace,
+        same seeds, same plan optimum — for any worker count.
+        """
+        day_list = list(days)
+        chosen = tuple(policies) if policies is not None else PREDICTION_POLICIES
+        if "titan-next" not in chosen:
+            return self.replay_days(
+                day_list, policies=chosen, seed=seed, reduced=reduced, evaluate=evaluate
+            )
+        # One pool spans both parallel phases: workers spawn (and
+        # unpickle the setup) once, idling only through the short
+        # serial planning loop in between.
+        with self.worker_pool(len(day_list)) as pool:
+            predictions = self.forecast_days(
+                day_list, history_weeks, reduced=reduced, pool=pool
+            )
+            plans = self.plan_days(predictions, lp_options=lp_options)
+            return self.replay_days(
+                day_list,
+                plans=plans,
+                policies=chosen,
+                seed=seed,
+                reduced=reduced,
+                evaluate=evaluate,
+                pool=pool,
+            )
+
+    def run_prediction_sweep(
+        self,
+        days: Sequence[int],
+        history_weeks: int = 4,
+        lp_options: Optional[JointLpOptions] = None,
+        reduced: bool = True,
+        seed: int = 71,
+        evaluate: bool = False,
+    ) -> Dict[int, "PredictionDayResult"]:
+        """Titan-Next only over a run of days (the classic §8 sweep)."""
+        window = self.run_prediction_window(
+            days,
+            policies=("titan-next",),
+            history_weeks=history_weeks,
+            lp_options=lp_options,
+            reduced=reduced,
+            seed=seed,
+            evaluate=evaluate,
+        )
+        return {day: results["titan-next"] for day, results in window.items()}
+
+    # -- §7 oracle sweeps ----------------------------------------------------
+
+    def run_oracle_days(
+        self,
+        days: Sequence[int],
+        policies: Optional[Sequence[str]] = None,
+        use_plan_cache: bool = True,
+    ) -> Dict[int, Dict[str, "EvaluationResult"]]:
+        """The §7 oracle comparison over a run of days.
+
+        Demand sampling and (with ``use_plan_cache``) the Titan-Next
+        cached-LP solves run serially in the parent; baseline policy
+        assignment and all ``evaluate_batch`` scoring fan out per day.
+        Identical to a :func:`~repro.core.titan_next.run_oracle_day`
+        loop for any worker count.
+        """
+        from .titan_next import day_e2e_bound_ms, oracle_demand_for_day, plan_cache_for_days
+
+        day_list = list(days)
+        chosen = tuple(policies) if policies is not None else ("wrr", "titan", "lf", "titan-next")
+        tn_plans: Dict[int, AssignmentTable] = {}
+        if use_plan_cache and "titan-next" in chosen and day_list:
+            cache, demands = plan_cache_for_days(self.setup, day_list)
+            for day in day_list:
+                solved = cache.solve_day(demands[day], e2e_bound_ms=day_e2e_bound_ms(day))
+                if not solved.is_optimal:
+                    raise RuntimeError(f"Titan-Next cached LP failed for day {day}: {solved.status}")
+                tn_plans[day] = solved.assignment
+        else:
+            demands = {day: oracle_demand_for_day(self.setup, day) for day in day_list}
+        tasks = [(day, demands[day], tn_plans.get(day), chosen) for day in day_list]
+        return dict(self.map_days(_oracle_day_task, tasks))

@@ -340,13 +340,17 @@ def run_oracle_day(
     plan_cache: Optional[PlanCache] = None,
     demand: Optional[Dict[Tuple[int, CallConfig], float]] = None,
     trace: Optional[CallTable] = None,
+    titan_next_assignment: Optional[AssignmentTable] = None,
 ):
     """Run the §7 oracle comparison for one day.
 
     Returns ``{policy name: EvaluationResult}``.  When ``plan_cache`` is
     given, Titan-Next re-solves the cached LP structure (RHS refresh
-    only) instead of rebuilding the model from scratch.  ``trace`` lets
-    the oracle run consume the exact call realization of a §8
+    only) instead of rebuilding the model from scratch;
+    ``titan_next_assignment`` goes one step further and supplies the
+    already-solved plan (how a :class:`~repro.core.sweep.SweepRunner`
+    worker consumes the serial planning phase's optimum).  ``trace``
+    lets the oracle run consume the exact call realization of a §8
     controller run: the :class:`CallTable` is aggregated back into the
     per-(slot, reduced config) demand table the policies plan on.
 
@@ -373,7 +377,9 @@ def run_oracle_day(
     chosen = policies if policies is not None else ("wrr", "titan", "lf", "titan-next")
     results = {}
     for name in chosen:
-        if name == "titan-next" and plan_cache is not None:
+        if name == "titan-next" and titan_next_assignment is not None:
+            assignment = titan_next_assignment
+        elif name == "titan-next" and plan_cache is not None:
             # Only the (per-day) E2E bound may differ from the cached
             # options — every other field is baked into the cached
             # structure and silently diverging would return plans that
@@ -400,25 +406,24 @@ def run_oracle_week(
     days: int = 7,
     policies: Optional[Sequence[str]] = None,
     use_plan_cache: bool = True,
+    workers: int = 1,
+    backend: Optional[str] = None,
 ):
     """The Fig 14 experiment: one week, all policies, per-day results.
 
     ``start_day=2`` makes the week start on Wednesday like Fig 14.
     With ``use_plan_cache`` (the default) the Titan-Next LP structure is
     built once for the whole week and only its RHS changes per day.
+    ``workers`` fans the per-day baseline assignment + scoring over a
+    :class:`~repro.core.sweep.SweepRunner` pool (cached Titan-Next
+    solves stay serial); results are identical for any worker count.
     """
-    day_range = range(start_day, start_day + days)
-    chosen = policies if policies is not None else ("wrr", "titan", "lf", "titan-next")
-    cache: Optional[PlanCache] = None
-    demands: Dict[int, Dict[Tuple[int, CallConfig], float]] = {}
-    if use_plan_cache and "titan-next" in chosen and days > 0:
-        cache, demands = plan_cache_for_days(setup, list(day_range))
-    return {
-        day: run_oracle_day(
-            setup, day, policies=policies, plan_cache=cache, demand=demands.get(day)
-        )
-        for day in day_range
-    }
+    from .sweep import SweepRunner
+
+    runner = SweepRunner(setup, workers=workers, backend=backend)
+    return runner.run_oracle_days(
+        range(start_day, start_day + days), policies=policies, use_plan_cache=use_plan_cache
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -433,12 +438,20 @@ class PredictionDayResult:
     ``assignments`` is either a scalar list of
     :class:`CallAssignment` or an :class:`AssignmentBatch` (the batch
     controllers' structure-of-arrays output); both iterate as
-    :class:`CallAssignment` views.
+    :class:`CallAssignment` views.  ``evaluation`` holds the §7.1
+    score when it was computed where the result was produced (a
+    ``SweepRunner(evaluate=True)`` worker scores in-pool, against the
+    sweep setup's scenario, so the metric work parallelizes too);
+    consumers that want the pooled score read it directly —
+    :meth:`evaluate` always re-scores against the scenario it is
+    given, so scoring a *modified* scenario (the ablation pattern)
+    can never silently return a stale result.
     """
 
     policy: str
     assignments: "List[CallAssignment] | AssignmentBatch"
     stats: Optional[ControllerStats] = None
+    evaluation: Optional[object] = None
 
     def realized_table(self, slots_per_day: int = SLOTS_PER_DAY) -> AssignmentTable:
         if isinstance(self.assignments, AssignmentBatch):
@@ -458,6 +471,11 @@ class PredictionDayResult:
         arrays (no dict-table round trip); a scalar assignment list
         falls back to its realized table.  Returns an
         :class:`~repro.analysis.metrics.EvaluationResult`.
+
+        Always recomputes against the given ``scenario`` — a pooled
+        :attr:`evaluation` (scored against the sweep setup's own
+        scenario) is deliberately *not* returned here; read the
+        attribute when that is what you want.
         """
         from ..analysis.metrics import evaluate_batch
 
@@ -468,26 +486,42 @@ class PredictionDayResult:
         return evaluate_batch(scenario, self.realized_table(slots_per_day), self.policy)
 
 
-def _replay_titan_next_day(
+def _baseline_controller(setup: EuropeSetup, name: str, seed: int):
+    """The first-joiner baseline controllers, with their pinned seeds."""
+    if name == "wrr":
+        return FirstJoinerWrr(setup.scenario, seed=seed + 2)
+    if name == "lf":
+        return FirstJoinerLf(setup.scenario)
+    if name == "titan":
+        return FirstJoinerTitan(setup.scenario, seed=seed + 3)
+    raise KeyError(f"unknown prediction-mode policy {name!r}")
+
+
+def _prediction_day_result(
     setup: EuropeSetup,
-    solved: JointLpResult,
-    day: int,
+    name: str,
+    table: CallTable,
     seed: int,
     reduced: bool,
-    table: Optional[CallTable] = None,
+    plan_assignment: Optional[AssignmentTable] = None,
 ) -> PredictionDayResult:
-    """Run the online controller over one day's trace against a plan.
+    """One policy's §8 day off an already-synthesized trace.
 
-    ``table`` lets callers that already synthesized the day's trace (it
-    is shared with the baseline controllers) avoid a second synthesis.
+    The single per-(day, policy) unit of replay work — shared by
+    :func:`run_prediction_day` and the :class:`~repro.core.sweep`
+    workers, which is what keeps the fan-out byte-identical to the
+    serial loop.
     """
-    plan = OfflinePlan.from_assignment(solved.assignment)
-    controller = TitanNextController(setup.scenario, plan, seed=seed + 1, reduce_configs=reduced)
-    if table is None:
-        trace = TraceGenerator(setup.demand, top_n_configs=setup.top_n_configs, seed=seed)
-        table = trace.table_for_day(day)
-    batch = controller.process_table(table)
-    return PredictionDayResult("titan-next", batch, controller.stats)
+    if name == "titan-next":
+        if plan_assignment is None:
+            raise ValueError("titan-next replay needs the solved plan assignment")
+        plan = OfflinePlan.from_assignment(plan_assignment)
+        controller = TitanNextController(
+            setup.scenario, plan, seed=seed + 1, reduce_configs=reduced
+        )
+        return PredictionDayResult("titan-next", controller.process_table(table), controller.stats)
+    controller = _baseline_controller(setup, name, seed)
+    return PredictionDayResult(name, controller.process_table(table), controller.stats)
 
 
 def run_prediction_day(
@@ -498,6 +532,7 @@ def run_prediction_day(
     lp_options: Optional[JointLpOptions] = None,
     reduced: bool = True,
     seed: int = 71,
+    trace: Optional[CallTable] = None,
 ) -> Dict[str, PredictionDayResult]:
     """The §8 experiment for one day.
 
@@ -508,31 +543,32 @@ def run_prediction_day(
 
     The day's trace is synthesized once as a :class:`CallTable` and
     every controller consumes it through its batch ``process_table``
-    path (identical, call for call, to the scalar loops).
+    path (identical, call for call, to the scalar loops); ``trace``
+    lets callers that already hold the day's table (e.g. the two
+    :func:`migration_comparison` arms, which share one seed) skip the
+    synthesis entirely.
     """
     if lp_options is None:
         lp_options = JointLpOptions(e2e_bound_ms=day_e2e_bound_ms(day))
     chosen = policies if policies is not None else ("wrr", "lf", "titan", "titan-next")
 
-    trace = TraceGenerator(setup.demand, top_n_configs=setup.top_n_configs, seed=seed)
-    table = trace.table_for_day(day)
+    if trace is None:
+        generator = TraceGenerator(setup.demand, top_n_configs=setup.top_n_configs, seed=seed)
+        trace = generator.table_for_day(day)
 
     results: Dict[str, PredictionDayResult] = {}
     for name in chosen:
+        plan_assignment: Optional[AssignmentTable] = None
         if name == "titan-next":
             predicted = predicted_demand_for_day(setup, day, history_weeks, reduced=reduced)
             lp = JointAssignmentLp(setup.scenario, predicted, lp_options)
             solved = lp.solve()
             if not solved.is_optimal:
                 raise RuntimeError(f"Titan-Next planning LP failed: {solved.status}")
-            results[name] = _replay_titan_next_day(setup, solved, day, seed, reduced, table=table)
-        else:
-            controller = {
-                "wrr": lambda: FirstJoinerWrr(setup.scenario, seed=seed + 2),
-                "lf": lambda: FirstJoinerLf(setup.scenario),
-                "titan": lambda: FirstJoinerTitan(setup.scenario, seed=seed + 3),
-            }[name]()
-            results[name] = PredictionDayResult(name, controller.process_table(table), controller.stats)
+            plan_assignment = solved.assignment
+        results[name] = _prediction_day_result(
+            setup, name, trace, seed, reduced, plan_assignment=plan_assignment
+        )
     return results
 
 
@@ -543,6 +579,8 @@ def run_prediction_sweep(
     lp_options: Optional[JointLpOptions] = None,
     reduced: bool = True,
     seed: int = 71,
+    workers: int = 1,
+    backend: Optional[str] = None,
 ) -> Dict[int, PredictionDayResult]:
     """The §8 Titan-Next pipeline over a run of days, with one cached LP.
 
@@ -554,26 +592,52 @@ def run_prediction_sweep(
     solver hot-starts from the previous day's optimal basis
     (``PlanCache(reuse_basis=True)``).  When ``lp_options`` is omitted
     each day gets the §7.5 weekday/weekend E2E bound.
-    """
-    day_list = list(days)
-    predictions = {
-        day: predicted_demand_for_day(setup, day, history_weeks, reduced=reduced)
-        for day in day_list
-    }
-    configs = sorted({c for table in predictions.values() for _, c in table}, key=str)
-    if not configs:
-        raise ValueError("no predicted demand across the requested days")
-    base_options = lp_options if lp_options is not None else JointLpOptions()
-    cache = PlanCache(setup.scenario, configs, options=base_options, reuse_basis=True)
 
-    results: Dict[int, PredictionDayResult] = {}
-    for day in day_list:
-        bound = lp_options.e2e_bound_ms if lp_options is not None else day_e2e_bound_ms(day)
-        solved = cache.solve_day(predictions[day], e2e_bound_ms=bound)
-        if not solved.is_optimal:
-            raise RuntimeError(f"Titan-Next planning LP failed for day {day}: {solved.status}")
-        results[day] = _replay_titan_next_day(setup, solved, day, seed, reduced)
-    return results
+    ``workers`` fans the per-day forecast and replay phases over a
+    :class:`~repro.core.sweep.SweepRunner` pool (the planning loop
+    stays serial for the basis hot-start); the output is byte-identical
+    for every worker count.
+    """
+    from .sweep import SweepRunner
+
+    runner = SweepRunner(setup, workers=workers, backend=backend)
+    return runner.run_prediction_sweep(
+        days, history_weeks=history_weeks, lp_options=lp_options, reduced=reduced, seed=seed
+    )
+
+
+def run_prediction_window(
+    setup: EuropeSetup,
+    days: Sequence[int],
+    policies: Optional[Sequence[str]] = None,
+    history_weeks: int = 4,
+    lp_options: Optional[JointLpOptions] = None,
+    reduced: bool = True,
+    seed: int = 71,
+    workers: int = 1,
+    backend: Optional[str] = None,
+    evaluate: bool = False,
+) -> Dict[int, Dict[str, PredictionDayResult]]:
+    """All controllers over a multi-day §8 window (Fig 15 over days).
+
+    ``{day: {policy: PredictionDayResult}}``, each entry identical to
+    :func:`run_prediction_day` for that day — but Titan-Next planning
+    is amortized through one hot-started :class:`PlanCache` and the
+    per-day work fans out across ``workers``.  ``evaluate=True`` also
+    scores each result in-pool (``PredictionDayResult.evaluation``).
+    """
+    from .sweep import SweepRunner
+
+    runner = SweepRunner(setup, workers=workers, backend=backend)
+    return runner.run_prediction_window(
+        days,
+        policies=policies,
+        history_weeks=history_weeks,
+        lp_options=lp_options,
+        reduced=reduced,
+        seed=seed,
+        evaluate=evaluate,
+    )
 
 
 def migration_comparison(
@@ -588,7 +652,12 @@ def migration_comparison(
     migration rate the paper reports plus the cheap routing-option
     migration rate and the fraction of calls the plan could not place
     (the §6.4 surge path).
+
+    Both arms run on the same seed, hence the same call realization —
+    the day's trace is synthesized once and shared between them.
     """
+    generator = TraceGenerator(setup.demand, top_n_configs=setup.top_n_configs, seed=seed)
+    table = generator.table_for_day(day)
     rates: Dict[str, Dict[str, float]] = {}
     for label, reduced in (("reduced", True), ("raw", False)):
         result = run_prediction_day(
@@ -598,6 +667,7 @@ def migration_comparison(
             policies=("titan-next",),
             reduced=reduced,
             seed=seed,
+            trace=table,
         )["titan-next"]
         assert result.stats is not None
         rates[label] = {

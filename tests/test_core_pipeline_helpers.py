@@ -112,3 +112,82 @@ class TestPredictionSweep:
     def test_sweep_needs_days(self, small_setup):
         with pytest.raises(ValueError):
             run_prediction_sweep(small_setup, [])
+
+
+class TestOracleDayGuards:
+    """run_oracle_day's PlanCache guard paths (cache/options contract)."""
+
+    def _cache_for_day(self, setup, day=2):
+        from repro.core.titan_next import plan_cache_for_days
+
+        cache, demands = plan_cache_for_days(setup, [day])
+        return cache, demands[day]
+
+    def test_mismatched_lp_options_raise_value_error(self, small_setup):
+        from repro.core.lp import JointLpOptions
+
+        cache, demand = self._cache_for_day(small_setup)
+        # allow_internet is baked into the cached structure: silently
+        # solving would return a plan violating the caller's request.
+        mismatched = JointLpOptions(e2e_bound_ms=75.0, allow_internet=False)
+        with pytest.raises(ValueError, match="e2e_bound_ms"):
+            run_oracle_day(
+                small_setup,
+                day=2,
+                policies=("titan-next",),
+                plan_cache=cache,
+                demand=demand,
+                lp_options=mismatched,
+            )
+
+    def test_only_the_e2e_bound_may_differ(self, small_setup):
+        from repro.core.lp import JointLpOptions
+
+        cache, demand = self._cache_for_day(small_setup)
+        relaxed = JointLpOptions(e2e_bound_ms=80.0)
+        results = run_oracle_day(
+            small_setup,
+            day=2,
+            policies=("titan-next",),
+            plan_cache=cache,
+            demand=demand,
+            lp_options=relaxed,
+        )
+        assert results["titan-next"].total_calls > 0
+
+    def test_non_optimal_cached_solve_raises_runtime_error(self, small_setup, monkeypatch):
+        from repro.core.lp import JointLpResult
+        from repro.core.titan_next import PlanCache
+
+        cache, demand = self._cache_for_day(small_setup)
+        monkeypatch.setattr(
+            PlanCache,
+            "solve_day",
+            lambda self, demand, e2e_bound_ms=None: JointLpResult("infeasible", None, {}),
+        )
+        with pytest.raises(RuntimeError, match="infeasible"):
+            run_oracle_day(
+                small_setup, day=2, policies=("titan-next",), plan_cache=cache, demand=demand
+            )
+
+
+class TestRealizedTableFallback:
+    def test_scalar_assignment_list_matches_batch_table(self, small_setup):
+        """PredictionDayResult.realized_table: list fallback == batch path."""
+        from repro.core.controller import FirstJoinerLf
+        from repro.core.titan_next import PredictionDayResult
+        from repro.workload.traces import TraceGenerator
+
+        generator = TraceGenerator(
+            small_setup.demand, top_n_configs=small_setup.top_n_configs, seed=71
+        )
+        table = generator.table_for_window(30 * 48, 4)
+        batch = FirstJoinerLf(small_setup.scenario).process_table(table)
+        assert len(batch) > 0
+        batch_result = PredictionDayResult("lf", batch)
+        scalar_result = PredictionDayResult("lf", batch.to_list())
+        assert scalar_result.realized_table() == batch_result.realized_table()
+        # Same fold-back on a non-default slot grid, too.
+        assert scalar_result.realized_table(slots_per_day=16) == batch_result.realized_table(
+            slots_per_day=16
+        )
