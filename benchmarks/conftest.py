@@ -4,11 +4,31 @@ Each benchmark regenerates one paper artifact (table or figure), prints
 the measured-vs-paper comparison, and asserts the qualitative shape the
 paper claims.  The evaluation setup is shared across benches to
 amortize scenario construction.
+
+Besides the printed blocks, the tier emits machine-readable results:
+every benchmark's wall-clock (and any metrics it records through the
+``record_bench`` fixture) is written to ``benchmarks/out/BENCH_*.json``
+at session end, one file per benchmark module — the artifact nightly CI
+uploads so perf numbers are comparable across runs without scraping
+logs.
 """
+
+import json
+import platform
+import time
+from collections import defaultdict
+from datetime import datetime, timezone
+from pathlib import Path
 
 import pytest
 
+from repro.core.sweep import available_workers
 from repro.experiments.eval_exps import default_setup
+
+#: Per-test records for this session: nodeid -> {duration, outcome, metrics}.
+_RECORDS = {}
+
+OUT_DIR = Path(__file__).parent / "out"
 
 
 @pytest.fixture(scope="session")
@@ -22,3 +42,60 @@ def emit(result):
     print()
     print(result.render())
     return result
+
+
+@pytest.fixture
+def record_bench(request):
+    """Record named metrics for this benchmark's BENCH_*.json entry.
+
+    Usage::
+
+        def test_sweep_speed(record_bench):
+            ...
+            record_bench(speedup=round(speedup, 2), workers=4)
+
+    Repeated calls merge; wall-clock and outcome are recorded for every
+    benchmark automatically, so only domain metrics (speedups, call
+    counts, objective gaps) need explicit recording.
+    """
+
+    def record(**metrics):
+        entry = _RECORDS.setdefault(request.node.nodeid, {})
+        entry.setdefault("metrics", {}).update(metrics)
+
+    return record
+
+
+def pytest_runtest_logreport(report):
+    """Auto-record wall-clock + outcome for every benchmark test."""
+    if report.when != "call":
+        return
+    entry = _RECORDS.setdefault(report.nodeid, {})
+    entry["duration_s"] = round(report.duration, 4)
+    entry["outcome"] = report.outcome
+
+
+def pytest_sessionfinish(session):
+    """Write one ``BENCH_<module>.json`` per benchmark module run."""
+    if not _RECORDS:
+        return
+    by_module = defaultdict(dict)
+    for nodeid, entry in _RECORDS.items():
+        # nodeid: "benchmarks/test_sweep_speed.py::test_x" -> "sweep_speed"
+        module_path, _, test_name = nodeid.partition("::")
+        module = Path(module_path).stem.removeprefix("test_")
+        by_module[module][test_name or nodeid] = entry
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    stamp = datetime.fromtimestamp(time.time(), tz=timezone.utc).isoformat()
+    for module, benchmarks in by_module.items():
+        payload = {
+            "schema": "repro-bench/1",
+            "module": module,
+            "generated_at": stamp,
+            "python": platform.python_version(),
+            "available_workers": available_workers(),
+            "exitstatus": int(getattr(session, "exitstatus", 0)),
+            "benchmarks": benchmarks,
+        }
+        path = OUT_DIR / f"BENCH_{module}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

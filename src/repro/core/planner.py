@@ -1,0 +1,308 @@
+"""Planner backends: how the multi-day Fig 13 planning loop is solved.
+
+The §6 planning loop is the one serial phase left in a multi-day sweep
+(the paper itself flags LP size as the planning bottleneck in §6.3).
+This module makes that loop pluggable:
+
+* :class:`MonolithicPlanner` — the pinned reference: one
+  :class:`~repro.core.titan_next.PlanCache` over the whole day, RHS
+  refresh + persistent-session basis hot-start per day.
+* :class:`DecomposedPlanner` — slot-sharded column generation.  The
+  C1/C2/C3 blocks of the joint LP are block-diagonal per timeslot, so
+  each slot solves as an independent subproblem (fanned over a worker
+  pool when one is available); only the C4 average-E2E row and the
+  shared ``y`` link-peak columns couple slots, and a small coupling
+  pass — a restricted master problem over the union of slot supports,
+  closed by reduced-cost pricing — reconciles them *exactly*.
+
+Exactness contract: the tie-break perturbation in
+:class:`~repro.core.lp.JointLpOptions` makes the joint LP's optimum a
+unique vertex, and the pricing loop terminates only when no column of
+the full LP has negative reduced cost — so the decomposed optimum *is*
+the monolithic optimum (same objective to solver precision, same
+support), which ``tests/test_planner_backends.py`` pins.
+
+Pipelining is not a backend: it is a sweep-orchestration mode (see
+:class:`~repro.core.sweep.SweepRunner`) where either backend's planner
+runs one day ahead of replay.  :func:`resolve_planner` parses the
+combined ``planner=`` spec strings (``"monolithic"``, ``"decomposed"``,
+``"pipelined"``, ``"decomposed+pipelined"``, ...) into a
+:class:`PlannerSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from ..solver.model import Solution
+from ..solver.scipy_backend import PreparedSubproblem
+from ..workload.configs import CallConfig
+from .lp import JointLpOptions, JointLpResult
+from .scenario import Scenario
+from .titan_next import PlanCache
+
+#: Reduced-cost threshold below which a column enters the master.
+PRICING_TOLERANCE = 1e-9
+
+#: Retry budget for slot subproblems whose per-slot share of the C4
+#: budget is infeasible (the full day can still be feasible because C4
+#: pools the budget across slots; the slot solve only seeds columns).
+RELAXED_E2E_BOUND_MS = 1e9
+
+#: Safety cap on pricing rounds before falling back to a full solve.
+MAX_PRICING_ROUNDS = 100
+
+#: One slot subproblem: (slot, that slot's demand table, day E2E bound).
+SlotTask = Tuple[int, Dict[Tuple[int, CallConfig], float], float]
+
+#: Fans slot tasks somewhere (a SweepRunner pool) and returns, per
+#: task, the support keys of the slot optimum.
+SlotMap = Callable[[List[SlotTask]], List[List[Tuple[int, CallConfig, str, str]]]]
+
+
+@runtime_checkable
+class PlanBackend(Protocol):
+    """What the sweep planning loop needs from a planner backend."""
+
+    name: str
+
+    def solve_day(
+        self,
+        demand: Mapping[Tuple[int, CallConfig], float],
+        e2e_bound_ms: Optional[float] = None,
+    ) -> JointLpResult:
+        ...
+
+
+@dataclass(frozen=True)
+class PlannerSpec:
+    """A parsed ``planner=`` knob: which backend, pipelined or not."""
+
+    backend: str = "monolithic"
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("monolithic", "decomposed"):
+            raise ValueError(f"unknown planner backend {self.backend!r}")
+
+    @property
+    def label(self) -> str:
+        return self.backend + ("+pipelined" if self.pipelined else "")
+
+    def build(
+        self,
+        scenario: Scenario,
+        configs: Sequence[CallConfig],
+        options: Optional[JointLpOptions] = None,
+        slot_map: Optional[SlotMap] = None,
+    ) -> PlanBackend:
+        """Instantiate this spec's backend for one planning horizon."""
+        if self.backend == "decomposed":
+            return DecomposedPlanner(scenario, configs, options=options, slot_map=slot_map)
+        return MonolithicPlanner(scenario, configs, options=options)
+
+
+def resolve_planner(spec) -> PlannerSpec:
+    """Parse a ``planner=`` knob into a :class:`PlannerSpec`.
+
+    Accepts ``None`` (the monolithic default), an existing spec, or a
+    ``"+"``-joined string of at most one backend name (``monolithic`` /
+    ``decomposed``) and the ``pipelined`` flag; a bare ``"pipelined"``
+    means monolithic planning, pipelined.
+    """
+    if spec is None:
+        return PlannerSpec()
+    if isinstance(spec, PlannerSpec):
+        return spec
+    if not isinstance(spec, str):
+        raise ValueError(f"planner spec must be a string or PlannerSpec, got {spec!r}")
+    backend: Optional[str] = None
+    pipelined = False
+    for part in spec.split("+"):
+        part = part.strip()
+        if part == "pipelined":
+            if pipelined:
+                raise ValueError(f"duplicate 'pipelined' in planner spec {spec!r}")
+            pipelined = True
+        elif part in ("monolithic", "decomposed"):
+            if backend is not None:
+                raise ValueError(f"more than one backend in planner spec {spec!r}")
+            backend = part
+        else:
+            raise ValueError(
+                f"unknown planner spec part {part!r} in {spec!r}; expected "
+                "'monolithic', 'decomposed', and/or 'pipelined'"
+            )
+    return PlannerSpec(backend=backend or "monolithic", pipelined=pipelined)
+
+
+def slot_support_keys(
+    cache: PlanCache,
+    slot_demand: Mapping[Tuple[int, CallConfig], float],
+    e2e_bound_ms: float,
+) -> List[Tuple[int, CallConfig, str, str]]:
+    """Solve one slot subproblem and return its support columns.
+
+    The slot LP carries the day's E2E bound as a *per-slot* budget,
+    which can be infeasible even when the full day (budget pooled
+    across slots by C4) is not — the slot solve only seeds master
+    columns, so infeasibility retries with a relaxed budget.  A slot
+    infeasible even then makes the full LP infeasible too (its C1/C2/C3
+    rows are identical); an empty support is returned and the master
+    reports the infeasibility.
+    """
+    result = cache.solve_day(slot_demand, e2e_bound_ms=e2e_bound_ms)
+    if not result.is_optimal:
+        result = cache.solve_day(slot_demand, e2e_bound_ms=RELAXED_E2E_BOUND_MS)
+    if not result.is_optimal:
+        return []
+    return list(result.assignment.keys())
+
+
+class MonolithicPlanner(PlanCache):
+    """The pinned reference backend: today's hot-started RHS-refresh loop.
+
+    A :class:`~repro.core.titan_next.PlanCache` with the persistent
+    HiGHS session on by default — exactly the planning path every sweep
+    used before backends existed.
+    """
+
+    name = "monolithic"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        configs: Sequence[CallConfig],
+        options: Optional[JointLpOptions] = None,
+        reuse_basis: bool = True,
+    ) -> None:
+        super().__init__(scenario, configs, options=options, reuse_basis=reuse_basis)
+
+
+class DecomposedPlanner(PlanCache):
+    """Slot-sharded planning: independent slot solves + a coupling pass.
+
+    Per day:
+
+    1. **Shard** — the day's demand splits by timeslot; each slot's
+       restriction of the joint LP (its C1/C2/C3 block plus its own C4
+       budget and link-peak columns) solves independently, serially
+       over hot per-slot caches or fanned through ``slot_map``.
+    2. **Couple** — the union of slot supports (monotone across days)
+       seeds a restricted master over *all* rows of the joint LP,
+       kept hot in a :class:`~repro.solver.scipy_backend.PreparedSubproblem`
+       whose column pool grows in place.
+    3. **Price** — columns with negative reduced cost under the master
+       duals enter the pool until none remain, which certifies the
+       restricted optimum as the optimum of the full LP.
+
+    Thread contract: same as :class:`PlanCache` — ``solve_day`` is
+    internally serialized; per-slot caches are independent objects, so
+    ``slot_map`` may solve them on other threads or processes.
+    """
+
+    name = "decomposed"
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        configs: Sequence[CallConfig],
+        options: Optional[JointLpOptions] = None,
+        slot_map: Optional[SlotMap] = None,
+    ) -> None:
+        super().__init__(scenario, configs, options=options, reuse_basis=False)
+        self.configs = list(configs)
+        self.slot_map = slot_map
+        self._slot_caches: Dict[int, PlanCache] = {}
+        self._master: Optional[PreparedSubproblem] = None
+        #: Telemetry: pricing rounds and full-LP fallbacks across solves.
+        self.pricing_rounds = 0
+        self.fallback_solves = 0
+
+    def _slot_cache(self, t: int) -> PlanCache:
+        cache = self._slot_caches.get(t)
+        if cache is None:
+            cache = PlanCache(
+                self.scenario,
+                self.configs,
+                slots=[t],
+                options=self.options,
+                reuse_basis=True,
+            )
+            self._slot_caches[t] = cache
+        return cache
+
+    def _slot_supports(
+        self, tasks: List[SlotTask]
+    ) -> List[List[Tuple[int, CallConfig, str, str]]]:
+        if self.slot_map is not None:
+            return self.slot_map(tasks)
+        return [
+            slot_support_keys(self._slot_cache(t), slot_demand, bound)
+            for t, slot_demand, bound in tasks
+        ]
+
+    def _decomposed_solution(
+        self, demand: Mapping[Tuple[int, CallConfig], float], bound: float
+    ) -> Solution:
+        """The decomposed solve, run with the day's RHS installed."""
+        artifacts = self._artifacts
+        prepared = self._prepared
+
+        by_slot: Dict[int, Dict[Tuple[int, CallConfig], float]] = {}
+        for (t, config), value in demand.items():
+            if value > 0:
+                by_slot.setdefault(t, {})[(t, config)] = value
+        tasks: List[SlotTask] = [(t, by_slot[t], bound) for t in sorted(by_slot)]
+        supports = self._slot_supports(tasks)
+
+        column_of = artifacts.column_index()
+        day_columns = np.asarray(
+            [column_of[key] for keys in supports for key in keys], dtype=np.int64
+        )
+        if self._master is None:
+            self._master = PreparedSubproblem(
+                prepared, np.concatenate([day_columns, artifacts.y_columns])
+            )
+        else:
+            self._master.extend(day_columns)
+        master = self._master
+
+        stacked = prepared.stacked_matrix()
+        for _ in range(MAX_PRICING_ROUNDS):
+            solution = master.solve()
+            if not solution.is_optimal:
+                # Infeasible/failed master (e.g. an infeasible day, or
+                # a support pool the C1 rows cannot satisfy): decide on
+                # the full LP instead of a restricted guess.
+                self.fallback_solves += 1
+                return prepared.solve()
+            self.pricing_rounds += 1
+            reduced = prepared.c - stacked.T @ solution.row_dual
+            candidates = np.nonzero(~master.in_model & (reduced < -PRICING_TOLERANCE))[0]
+            candidates = candidates[candidates < artifacts.n_cols]
+            if candidates.size == 0:
+                return Solution(
+                    status="optimal",
+                    objective=solution.objective,
+                    iterations=solution.iterations,
+                    x=master.x_full(solution),
+                    name_of=self._lp.variable_name,
+                )
+            master.extend(candidates)
+        self.fallback_solves += 1
+        return prepared.solve()
+
+    def solve_day(
+        self,
+        demand: Mapping[Tuple[int, CallConfig], float],
+        e2e_bound_ms: Optional[float] = None,
+    ) -> JointLpResult:
+        counts = self.demand_counts(demand)
+        bound = e2e_bound_ms if e2e_bound_ms is not None else self.options.e2e_bound_ms
+        return self._solve_with_rhs(
+            counts, bound, lambda: self._decomposed_solution(demand, bound)
+        )

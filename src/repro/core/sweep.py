@@ -44,6 +44,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..workload.configs import CallConfig
 from ..workload.traces import TraceGenerator
 from .lp import AssignmentTable, JointLpOptions
+from .planner import PlanBackend, PlannerSpec, resolve_planner, slot_support_keys
 
 #: Demand/forecast table: ``(slot of day, config) -> call count``.
 DemandTable = Dict[Tuple[int, CallConfig], float]
@@ -87,6 +88,7 @@ class _WorkerState:
     def __init__(self, setup) -> None:
         self.setup = setup
         self._generators: Dict[int, TraceGenerator] = {}
+        self._slot_planners: Dict[Tuple, object] = {}
 
     def trace_generator(self, seed: int) -> TraceGenerator:
         generator = self._generators.get(seed)
@@ -96,6 +98,25 @@ class _WorkerState:
             )
             self._generators[seed] = generator
         return generator
+
+    def slot_planner(self, configs: Tuple[CallConfig, ...], options: JointLpOptions, slot: int):
+        """This worker's hot single-slot :class:`PlanCache` for ``slot``.
+
+        Keyed on the full planning signature so a worker re-used across
+        sweeps (or config unions) never serves a stale structure; the
+        persistent per-slot session hot-starts across the days the
+        worker plans.
+        """
+        from .titan_next import PlanCache
+
+        key = (configs, options, slot)
+        cache = self._slot_planners.get(key)
+        if cache is None:
+            cache = PlanCache(
+                self.setup.scenario, list(configs), slots=[slot], options=options, reuse_basis=True
+            )
+            self._slot_planners[key] = cache
+        return cache
 
 
 #: Process-pool worker context, set once by :func:`_init_worker`.
@@ -153,6 +174,20 @@ def _replay_day_task(task, state: Optional[_WorkerState] = None):
     return day, results
 
 
+def _plan_slot_task(task, state: Optional[_WorkerState] = None):
+    """Solve one slot subproblem of the decomposed planner.
+
+    ``task`` is ``(configs, options, slot, slot_demand, bound)``;
+    returns the slot optimum's support keys (the columns the coupling
+    pass seeds its restricted master with).  The worker keeps one hot
+    per-slot cache per planning signature, so a day's slot solve
+    hot-starts from the previous day the worker planned that slot.
+    """
+    configs, options, slot, slot_demand, bound = task
+    worker = _state_or_worker(state)
+    return slot_support_keys(worker.slot_planner(configs, options, slot), slot_demand, bound)
+
+
 def _oracle_day_task(task, state: Optional[_WorkerState] = None):
     """Score one §7 oracle day for a set of policies.
 
@@ -191,9 +226,25 @@ class SweepRunner:
     ``"thread"``, or ``"serial"``; ``workers="auto"`` uses the CPUs the
     process is allowed to run on.  The runner itself is cheap — it owns
     no pool between calls, so it can be kept around or rebuilt freely.
+
+    ``planner`` picks the planning backend and orchestration (see
+    :mod:`repro.core.planner`): ``"monolithic"`` (default, the pinned
+    hot-started loop), ``"decomposed"`` (slot-sharded solves fanned
+    over the pool + an exact coupling pass), and/or ``"pipelined"``
+    (plan day ``d+1`` in the caller's thread while the pool replays day
+    ``d``, instead of strictly alternating phases).  Every combination
+    reproduces the monolithic plans — bit-exactly for monolithic
+    specs, to solver precision for decomposed ones.
     """
 
-    def __init__(self, setup, workers=1, backend: Optional[str] = None, mp_context=None) -> None:
+    def __init__(
+        self,
+        setup,
+        workers=1,
+        backend: Optional[str] = None,
+        mp_context=None,
+        planner=None,
+    ) -> None:
         self.setup = setup
         self.workers = _resolve_workers(workers)
         if backend is None:
@@ -204,6 +255,7 @@ class SweepRunner:
             backend = "serial"
         self.backend = backend
         self.mp_context = mp_context
+        self.planner: PlannerSpec = resolve_planner(planner)
         # Inline/thread execution state: shares the caller's setup, so
         # serial sweeps also reuse one TraceGenerator across days.
         self._state = _WorkerState(setup)
@@ -264,31 +316,69 @@ class SweepRunner:
         tasks = [(day, history_weeks, reduced) for day in days]
         return dict(self.map_days(_forecast_day_task, tasks, pool=pool))
 
+    def _plan_backend(
+        self,
+        demands: Dict[int, DemandTable],
+        lp_options: Optional[JointLpOptions],
+        pool,
+    ) -> Tuple[PlanBackend, Callable[[int], float]]:
+        """Build this runner's planner backend for a set of day tables.
+
+        Returns the backend (covering the union of the days' configs)
+        plus the per-day E2E bound resolver.  With the decomposed spec
+        and a live pool, the backend's slot subproblems fan out through
+        :func:`_plan_slot_task` (worker-side hot per-slot caches);
+        otherwise slots solve serially inside the backend.
+        """
+        from .titan_next import day_e2e_bound_ms
+
+        configs = sorted({c for table in demands.values() for _, c in table}, key=str)
+        if not configs:
+            raise ValueError("no predicted demand across the requested days")
+        base_options = lp_options if lp_options is not None else JointLpOptions()
+
+        slot_map = None
+        if self.planner.backend == "decomposed" and pool is not None:
+            signature = tuple(configs)
+
+            def slot_map(tasks):
+                wrapped = [
+                    (signature, base_options, t, slot_demand, bound)
+                    for t, slot_demand, bound in tasks
+                ]
+                return self.map_days(_plan_slot_task, wrapped, pool=pool)
+
+        backend = self.planner.build(
+            self.setup.scenario, configs, options=base_options, slot_map=slot_map
+        )
+
+        def bound_for(day: int) -> float:
+            return lp_options.e2e_bound_ms if lp_options is not None else day_e2e_bound_ms(day)
+
+        return backend, bound_for
+
     def plan_days(
         self,
         predictions: Dict[int, DemandTable],
         lp_options: Optional[JointLpOptions] = None,
+        pool=None,
     ) -> Dict[int, AssignmentTable]:
-        """Serial phase 2: the shared hot-started planning loop.
+        """Phase 2: the planning loop, through this runner's backend.
 
-        One :class:`~repro.core.titan_next.PlanCache` covers the union
-        of predicted configs; each day refreshes the C1/C4 RHS and
+        The monolithic backend is one
+        :class:`~repro.core.titan_next.PlanCache` over the union of
+        predicted configs: each day refreshes the C1/C4 RHS and
         hot-starts HiGHS from the previous day's optimal basis — which
-        is why this phase stays in the parent process, in day order.
-        When ``lp_options`` is omitted each day gets the §7.5
+        is why the day loop stays in the parent process, in day order.
+        The decomposed backend shards each day by slot (fanned over
+        ``pool`` when given) and reconciles with an exact coupling
+        pass.  When ``lp_options`` is omitted each day gets the §7.5
         weekday/weekend E2E bound.
         """
-        from .titan_next import PlanCache, day_e2e_bound_ms
-
-        configs = sorted({c for table in predictions.values() for _, c in table}, key=str)
-        if not configs:
-            raise ValueError("no predicted demand across the requested days")
-        base_options = lp_options if lp_options is not None else JointLpOptions()
-        cache = PlanCache(self.setup.scenario, configs, options=base_options, reuse_basis=True)
+        backend, bound_for = self._plan_backend(predictions, lp_options, pool)
         plans: Dict[int, AssignmentTable] = {}
         for day, prediction in predictions.items():
-            bound = lp_options.e2e_bound_ms if lp_options is not None else day_e2e_bound_ms(day)
-            solved = cache.solve_day(prediction, e2e_bound_ms=bound)
+            solved = backend.solve_day(prediction, e2e_bound_ms=bound_for(day))
             if not solved.is_optimal:
                 raise RuntimeError(f"Titan-Next planning LP failed for day {day}: {solved.status}")
             plans[day] = solved.assignment
@@ -347,7 +437,11 @@ class SweepRunner:
             predictions = self.forecast_days(
                 day_list, history_weeks, reduced=reduced, pool=pool
             )
-            plans = self.plan_days(predictions, lp_options=lp_options)
+            if self.planner.pipelined and pool is not None:
+                return self._pipelined_window(
+                    day_list, predictions, chosen, lp_options, reduced, seed, evaluate, pool
+                )
+            plans = self.plan_days(predictions, lp_options=lp_options, pool=pool)
             return self.replay_days(
                 day_list,
                 plans=plans,
@@ -357,6 +451,40 @@ class SweepRunner:
                 evaluate=evaluate,
                 pool=pool,
             )
+
+    def _pipelined_window(
+        self,
+        day_list: Sequence[int],
+        predictions: Dict[int, DemandTable],
+        policies: Tuple[str, ...],
+        lp_options: Optional[JointLpOptions],
+        reduced: bool,
+        seed: int,
+        evaluate: bool,
+        pool,
+    ) -> Dict[int, Dict[str, "PredictionDayResult"]]:
+        """Planning/replay pipelining: plan day ``d+1`` while the pool
+        replays day ``d``.
+
+        The planner runs in the caller's thread in day order — the same
+        hot-start chain, hence the same plans, as the phase-alternating
+        path — but each day's replay is *submitted* the moment its plan
+        is solved, so the pool chews replay (and, for the decomposed
+        backend, slot-subproblem) tasks while the next day's LP solves.
+        Results are gathered at the end, keyed and ordered by day.
+        """
+        backend, bound_for = self._plan_backend(predictions, lp_options, pool)
+        fn = _replay_day_task
+        if self.backend == "thread":
+            fn = partial(_replay_day_task, state=self._state)
+        futures = []
+        for day in day_list:
+            solved = backend.solve_day(predictions[day], e2e_bound_ms=bound_for(day))
+            if not solved.is_optimal:
+                raise RuntimeError(f"Titan-Next planning LP failed for day {day}: {solved.status}")
+            task = (day, solved.assignment, policies, seed, reduced, evaluate)
+            futures.append(pool.submit(fn, task))
+        return dict(future.result() for future in futures)
 
     def run_prediction_sweep(
         self,
@@ -395,19 +523,39 @@ class SweepRunner:
         Identical to a :func:`~repro.core.titan_next.run_oracle_day`
         loop for any worker count.
         """
-        from .titan_next import day_e2e_bound_ms, oracle_demand_for_day, plan_cache_for_days
+        from .titan_next import oracle_demand_for_day
 
         day_list = list(days)
         chosen = tuple(policies) if policies is not None else ("wrr", "titan", "lf", "titan-next")
-        tn_plans: Dict[int, AssignmentTable] = {}
-        if use_plan_cache and "titan-next" in chosen and day_list:
-            cache, demands = plan_cache_for_days(self.setup, day_list)
+        demands = {day: oracle_demand_for_day(self.setup, day) for day in day_list}
+        if not (use_plan_cache and "titan-next" in chosen and day_list):
+            tasks = [(day, demands[day], None, chosen) for day in day_list]
+            return dict(self.map_days(_oracle_day_task, tasks))
+
+        # One pool spans planning and scoring, so the pipelined mode
+        # can overlap the two and the decomposed backend can fan its
+        # slot subproblems over the same workers.
+        with self.worker_pool(len(day_list)) as pool:
+            backend, bound_for = self._plan_backend(demands, None, pool)
+            if self.planner.pipelined and pool is not None:
+                futures = []
+                for day in day_list:
+                    solved = backend.solve_day(demands[day], e2e_bound_ms=bound_for(day))
+                    if not solved.is_optimal:
+                        raise RuntimeError(
+                            f"Titan-Next cached LP failed for day {day}: {solved.status}"
+                        )
+                    task = (day, demands[day], solved.assignment, chosen)
+                    fn = _oracle_day_task
+                    if self.backend == "thread":
+                        fn = partial(_oracle_day_task, state=self._state)
+                    futures.append(pool.submit(fn, task))
+                return dict(future.result() for future in futures)
+            tn_plans: Dict[int, AssignmentTable] = {}
             for day in day_list:
-                solved = cache.solve_day(demands[day], e2e_bound_ms=day_e2e_bound_ms(day))
+                solved = backend.solve_day(demands[day], e2e_bound_ms=bound_for(day))
                 if not solved.is_optimal:
                     raise RuntimeError(f"Titan-Next cached LP failed for day {day}: {solved.status}")
                 tn_plans[day] = solved.assignment
-        else:
-            demands = {day: oracle_demand_for_day(self.setup, day) for day in day_list}
-        tasks = [(day, demands[day], tn_plans.get(day), chosen) for day in day_list]
-        return dict(self.map_days(_oracle_day_task, tasks))
+            tasks = [(day, demands[day], tn_plans.get(day), chosen) for day in day_list]
+            return dict(self.map_days(_oracle_day_task, tasks, pool=pool))

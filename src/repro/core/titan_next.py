@@ -19,6 +19,7 @@ Two evaluation harnesses mirror the paper's two modes:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -252,6 +253,16 @@ class PlanCache:
     Days whose demand covers only a subset of the cached configs are
     fine: C1 pins the missing columns to zero.  ``single_dc_per_config``
     is rejected because its pinning depends on the demand itself.
+
+    **Concurrency contract.** One cache owns one persistent HiGHS
+    session, and a solve is a mutate-RHS-then-run critical section, so
+    :meth:`solve_day` serializes callers behind an internal lock:
+    concurrent calls are safe (each sees a consistent RHS and its own
+    result — RHS uniquely determines the optimum through the tie-break
+    perturbation) but never parallel.  To overlap planning with other
+    work, run the cache on a single dedicated thread (the pipelined
+    sweep mode) or fan out across *separate* caches (the decomposed
+    planner's per-slot subproblems).
     """
 
     def __init__(
@@ -279,6 +290,7 @@ class PlanCache:
         # instance: each solve_day hot-starts from the previous day's
         # optimal basis instead of re-solving from scratch.
         self._prepared = PreparedHighs(self._lp, reuse_basis=reuse_basis)
+        self._lock = threading.RLock()
         self.solves = 0
 
     @property
@@ -289,12 +301,8 @@ class PlanCache:
     def num_constraints(self) -> int:
         return self._lp.num_constraints
 
-    def solve_day(
-        self,
-        demand: Mapping[Tuple[int, CallConfig], float],
-        e2e_bound_ms: Optional[float] = None,
-    ) -> JointLpResult:
-        """Solve one day's plan by refreshing the RHS and re-solving."""
+    def demand_counts(self, demand: Mapping[Tuple[int, CallConfig], float]) -> np.ndarray:
+        """Per-C1-group call counts for one day's demand table."""
         counts = np.zeros(len(self._artifacts.groups))
         for key, value in demand.items():
             if value <= 0:
@@ -306,11 +314,41 @@ class PlanCache:
                     "rebuild the PlanCache with a covering config/slot set"
                 )
             counts[group] += value
+        return counts
+
+    def _solve_with_rhs(self, counts: np.ndarray, bound: float, solve) -> JointLpResult:
+        """Install a day's RHS, run ``solve``, and extract the plan.
+
+        The C1/C4 mutation happens in place on the cached blocks; if
+        the solve *raises*, the previous RHS is restored so the cache
+        (and its persistent session's sent-bounds bookkeeping) never
+        ends up describing a day it did not solve.  A solve that merely
+        returns a non-optimal status leaves the RHS as installed — the
+        next ``solve_day`` overwrites both blocks wholesale.
+        """
+        with self._lock:
+            saved_c1 = self._artifacts.c1_block.rhs.copy()
+            saved_c4 = float(self._artifacts.c4_block.rhs[0])
+            self._artifacts.c1_block.rhs[:] = counts
+            self._artifacts.c4_block.rhs[0] = bound * counts.sum()
+            self.solves += 1
+            try:
+                solution = solve()
+            except BaseException:
+                self._artifacts.c1_block.rhs[:] = saved_c1
+                self._artifacts.c4_block.rhs[0] = saved_c4
+                raise
+            return extract_result(solution, self._artifacts)
+
+    def solve_day(
+        self,
+        demand: Mapping[Tuple[int, CallConfig], float],
+        e2e_bound_ms: Optional[float] = None,
+    ) -> JointLpResult:
+        """Solve one day's plan by refreshing the RHS and re-solving."""
+        counts = self.demand_counts(demand)
         bound = e2e_bound_ms if e2e_bound_ms is not None else self.options.e2e_bound_ms
-        self._artifacts.c1_block.rhs[:] = counts
-        self._artifacts.c4_block.rhs[0] = bound * counts.sum()
-        self.solves += 1
-        return extract_result(self._prepared.solve(), self._artifacts)
+        return self._solve_with_rhs(counts, bound, self._prepared.solve)
 
 
 def plan_cache_for_days(
@@ -408,6 +446,7 @@ def run_oracle_week(
     use_plan_cache: bool = True,
     workers: int = 1,
     backend: Optional[str] = None,
+    planner=None,
 ):
     """The Fig 14 experiment: one week, all policies, per-day results.
 
@@ -415,12 +454,13 @@ def run_oracle_week(
     With ``use_plan_cache`` (the default) the Titan-Next LP structure is
     built once for the whole week and only its RHS changes per day.
     ``workers`` fans the per-day baseline assignment + scoring over a
-    :class:`~repro.core.sweep.SweepRunner` pool (cached Titan-Next
-    solves stay serial); results are identical for any worker count.
+    :class:`~repro.core.sweep.SweepRunner` pool; ``planner`` picks the
+    planning backend/orchestration (see :mod:`repro.core.planner`).
+    Results are identical for any worker count and planner spec.
     """
     from .sweep import SweepRunner
 
-    runner = SweepRunner(setup, workers=workers, backend=backend)
+    runner = SweepRunner(setup, workers=workers, backend=backend, planner=planner)
     return runner.run_oracle_days(
         range(start_day, start_day + days), policies=policies, use_plan_cache=use_plan_cache
     )
@@ -581,6 +621,7 @@ def run_prediction_sweep(
     seed: int = 71,
     workers: int = 1,
     backend: Optional[str] = None,
+    planner=None,
 ) -> Dict[int, PredictionDayResult]:
     """The §8 Titan-Next pipeline over a run of days, with one cached LP.
 
@@ -594,13 +635,16 @@ def run_prediction_sweep(
     each day gets the §7.5 weekday/weekend E2E bound.
 
     ``workers`` fans the per-day forecast and replay phases over a
-    :class:`~repro.core.sweep.SweepRunner` pool (the planning loop
-    stays serial for the basis hot-start); the output is byte-identical
-    for every worker count.
+    :class:`~repro.core.sweep.SweepRunner` pool; ``planner`` picks the
+    planning backend/orchestration (monolithic / decomposed /
+    pipelined — see :mod:`repro.core.planner`).  The output is
+    byte-identical for every worker count and for every monolithic
+    spec; decomposed specs reproduce the same plans to solver
+    precision.
     """
     from .sweep import SweepRunner
 
-    runner = SweepRunner(setup, workers=workers, backend=backend)
+    runner = SweepRunner(setup, workers=workers, backend=backend, planner=planner)
     return runner.run_prediction_sweep(
         days, history_weeks=history_weeks, lp_options=lp_options, reduced=reduced, seed=seed
     )
@@ -616,6 +660,7 @@ def run_prediction_window(
     seed: int = 71,
     workers: int = 1,
     backend: Optional[str] = None,
+    planner=None,
     evaluate: bool = False,
 ) -> Dict[int, Dict[str, PredictionDayResult]]:
     """All controllers over a multi-day §8 window (Fig 15 over days).
@@ -623,12 +668,14 @@ def run_prediction_window(
     ``{day: {policy: PredictionDayResult}}``, each entry identical to
     :func:`run_prediction_day` for that day — but Titan-Next planning
     is amortized through one hot-started :class:`PlanCache` and the
-    per-day work fans out across ``workers``.  ``evaluate=True`` also
-    scores each result in-pool (``PredictionDayResult.evaluation``).
+    per-day work fans out across ``workers``.  ``planner`` swaps the
+    planning backend/orchestration (see :mod:`repro.core.planner`).
+    ``evaluate=True`` also scores each result in-pool
+    (``PredictionDayResult.evaluation``).
     """
     from .sweep import SweepRunner
 
-    runner = SweepRunner(setup, workers=workers, backend=backend)
+    runner = SweepRunner(setup, workers=workers, backend=backend, planner=planner)
     return runner.run_prediction_window(
         days,
         policies=policies,

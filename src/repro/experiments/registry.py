@@ -18,6 +18,7 @@ from .eval_exps import (
     run_ablation_single_dc,
     run_fig14,
     run_fig15,
+    run_fig18_sweep,
     run_fig20,
     run_tab3,
     run_tab4,
@@ -40,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig16": run_fig16,
     "fig17": run_fig17,
     "fig18": run_fig18,
+    "fig18-sweep": run_fig18_sweep,
     "fig19": run_fig19,
     "fig20": run_fig20,
     "tab4": run_tab4,

@@ -1,0 +1,256 @@
+"""Planner backend layer: equivalence, pipelining, and safety pins.
+
+The contract this file pins, per :mod:`repro.core.planner`:
+
+* the **monolithic** backend *is* the pinned ``PlanCache`` path —
+  swapping it in changes nothing, bit for bit;
+* the **decomposed** backend (slot-sharded solves + exact coupling
+  pass) reproduces the monolithic optimum — same objective to solver
+  precision, same support — because the tie-break perturbation makes
+  the joint LP's optimum a unique vertex and the pricing loop
+  terminates only when no column of the full LP prices negative;
+* **pipelined** orchestration reorders *when* work is submitted, never
+  what is computed: monolithic+pipelined sweeps are byte-identical to
+  the serial reference;
+* ``PlanCache.solve_day`` is exception-safe (no stale RHS after a
+  failed solve) and serialized (safe under concurrent callers).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.planner import (
+    DecomposedPlanner,
+    MonolithicPlanner,
+    PlanBackend,
+    PlannerSpec,
+    resolve_planner,
+)
+from repro.core.sweep import SweepRunner
+from repro.core.titan_next import (
+    PlanCache,
+    day_e2e_bound_ms,
+    predicted_demand_for_day,
+    run_oracle_week,
+    run_prediction_sweep,
+)
+from tests.test_sweep_parallel import assert_same_day_result
+
+DAYS = [30, 31, 32]
+
+
+@pytest.fixture(scope="module")
+def predictions(small_setup):
+    return {day: predicted_demand_for_day(small_setup, day) for day in DAYS}
+
+
+@pytest.fixture(scope="module")
+def planning_configs(predictions):
+    return sorted({c for table in predictions.values() for _, c in table}, key=str)
+
+
+@pytest.fixture(scope="module")
+def monolithic_plans(small_setup, predictions, planning_configs):
+    planner = MonolithicPlanner(small_setup.scenario, planning_configs)
+    return {
+        day: planner.solve_day(predictions[day], e2e_bound_ms=day_e2e_bound_ms(day))
+        for day in DAYS
+    }
+
+
+class TestResolvePlanner:
+    @pytest.mark.parametrize(
+        "spec,backend,pipelined",
+        [
+            (None, "monolithic", False),
+            ("monolithic", "monolithic", False),
+            ("decomposed", "decomposed", False),
+            ("pipelined", "monolithic", True),
+            ("monolithic+pipelined", "monolithic", True),
+            ("decomposed+pipelined", "decomposed", True),
+            ("pipelined+decomposed", "decomposed", True),
+        ],
+    )
+    def test_valid_specs(self, spec, backend, pipelined):
+        resolved = resolve_planner(spec)
+        assert resolved == PlannerSpec(backend=backend, pipelined=pipelined)
+
+    @pytest.mark.parametrize(
+        "spec", ["greenlet", "monolithic+decomposed", "pipelined+pipelined", "", 3, b"monolithic"]
+    )
+    def test_invalid_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            resolve_planner(spec)
+
+    def test_spec_is_idempotent_and_labelled(self):
+        spec = resolve_planner("decomposed+pipelined")
+        assert resolve_planner(spec) is spec
+        assert spec.label == "decomposed+pipelined"
+        with pytest.raises(ValueError):
+            PlannerSpec(backend="quantum")
+
+    def test_backends_satisfy_protocol(self, small_setup, planning_configs):
+        assert isinstance(MonolithicPlanner(small_setup.scenario, planning_configs), PlanBackend)
+
+
+class TestMonolithicIsReference:
+    def test_matches_plan_cache_exactly(
+        self, small_setup, predictions, planning_configs, monolithic_plans
+    ):
+        cache = PlanCache(small_setup.scenario, planning_configs, reuse_basis=True)
+        for day in DAYS:
+            reference = cache.solve_day(predictions[day], e2e_bound_ms=day_e2e_bound_ms(day))
+            assert monolithic_plans[day].objective == reference.objective
+            assert monolithic_plans[day].assignment == reference.assignment
+
+
+class TestDecomposedEquivalence:
+    """The acceptance pin: decomposed plans == monolithic plans."""
+
+    def test_matches_monolithic_optimum(
+        self, small_setup, predictions, planning_configs, monolithic_plans
+    ):
+        planner = DecomposedPlanner(small_setup.scenario, planning_configs)
+        for day in DAYS:
+            mono = monolithic_plans[day]
+            dec = planner.solve_day(predictions[day], e2e_bound_ms=day_e2e_bound_ms(day))
+            assert dec.is_optimal
+            # Same objective within tie-break scale: the perturbed LP's
+            # optimum is a unique vertex, so both backends land on it.
+            assert dec.objective == pytest.approx(mono.objective, rel=1e-9, abs=1e-9)
+            keys = set(mono.assignment) | set(dec.assignment)
+            deviation = max(
+                abs(mono.assignment.get(k, 0.0) - dec.assignment.get(k, 0.0)) for k in keys
+            )
+            assert deviation < 1e-6
+            assert sum(dec.link_peaks.values()) == pytest.approx(
+                sum(mono.link_peaks.values()), rel=1e-9, abs=1e-9
+            )
+        assert planner.fallback_solves == 0
+        assert planner.pricing_rounds >= len(DAYS)
+
+    def test_sweep_runner_fans_slots_through_pool(self, small_setup, predictions):
+        """The worker-side slot-solve path (process pool) reproduces the
+        serial decomposed planner."""
+        serial = SweepRunner(small_setup, workers=1, planner="decomposed").plan_days(predictions)
+        runner = SweepRunner(small_setup, workers=2, planner="decomposed")
+        with runner.worker_pool(len(DAYS)) as pool:
+            fanned = runner.plan_days(predictions, pool=pool)
+        for day in DAYS:
+            keys = set(serial[day]) | set(fanned[day])
+            deviation = max(
+                abs(serial[day].get(k, 0.0) - fanned[day].get(k, 0.0)) for k in keys
+            )
+            assert deviation < 1e-6
+
+    def test_infeasible_day_reports_infeasible(self, small_setup, predictions, planning_configs):
+        from repro.core.lp import JointLpOptions
+
+        options = JointLpOptions(e2e_bound_ms=1e-3)
+        mono = MonolithicPlanner(small_setup.scenario, planning_configs, options=options)
+        dec = DecomposedPlanner(small_setup.scenario, planning_configs, options=options)
+        assert not mono.solve_day(predictions[30], e2e_bound_ms=1e-3).is_optimal
+        assert not dec.solve_day(predictions[30], e2e_bound_ms=1e-3).is_optimal
+
+
+class TestPipelinedSweeps:
+    @pytest.fixture(scope="class")
+    def serial_sweep(self, small_setup):
+        return run_prediction_sweep(small_setup, DAYS, workers=1)
+
+    @pytest.mark.parametrize("spec", ["pipelined", "monolithic+pipelined"])
+    def test_pipelined_monolithic_is_byte_identical(self, small_setup, serial_sweep, spec):
+        piped = run_prediction_sweep(small_setup, DAYS, workers=2, planner=spec)
+        for day in DAYS:
+            assert_same_day_result(piped[day], serial_sweep[day])
+
+    def test_pipelined_decomposed_sweep_is_equivalent(self, small_setup, serial_sweep):
+        piped = run_prediction_sweep(
+            small_setup, DAYS, workers=2, planner="decomposed+pipelined"
+        )
+        for day in DAYS:
+            ours = piped[day].evaluate(small_setup.scenario)
+            reference = serial_sweep[day].evaluate(small_setup.scenario)
+            assert ours.sum_of_peaks_gbps == pytest.approx(
+                reference.sum_of_peaks_gbps, rel=1e-6
+            )
+
+    def test_pipelined_serial_runner_degrades_to_phases(self, small_setup, serial_sweep):
+        """workers=1 has no pool to overlap with: the pipelined spec
+        must fall back to the phase-alternating serial reference."""
+        piped = run_prediction_sweep(small_setup, DAYS, workers=1, planner="pipelined")
+        for day in DAYS:
+            assert_same_day_result(piped[day], serial_sweep[day])
+
+    def test_pipelined_oracle_week_matches_serial(self, small_setup):
+        serial = run_oracle_week(small_setup, start_day=2, days=2, workers=1)
+        piped = run_oracle_week(small_setup, start_day=2, days=2, workers=2, planner="pipelined")
+        for day, results in serial.items():
+            for name in results:
+                assert np.array_equal(
+                    piped[day][name].wan.dense, results[name].wan.dense
+                )
+
+
+class TestSolveDaySafety:
+    def test_rhs_restored_when_solve_raises(self, small_setup, predictions, planning_configs):
+        cache = PlanCache(small_setup.scenario, planning_configs, reuse_basis=True)
+        healthy = cache.solve_day(predictions[30], e2e_bound_ms=day_e2e_bound_ms(30))
+        c1_before = cache._artifacts.c1_block.rhs.copy()
+        c4_before = float(cache._artifacts.c4_block.rhs[0])
+
+        original = cache._prepared.solve
+        cache._prepared.solve = lambda: (_ for _ in ()).throw(RuntimeError("solver died"))
+        with pytest.raises(RuntimeError, match="solver died"):
+            cache.solve_day(predictions[31], e2e_bound_ms=day_e2e_bound_ms(31))
+        # The failed day must not leak into the cached RHS.
+        assert np.array_equal(cache._artifacts.c1_block.rhs, c1_before)
+        assert cache._artifacts.c4_block.rhs[0] == c4_before
+
+        cache._prepared.solve = original
+        again = cache.solve_day(predictions[30], e2e_bound_ms=day_e2e_bound_ms(30))
+        assert again.objective == pytest.approx(healthy.objective, rel=1e-12)
+        assert again.assignment == healthy.assignment
+
+    def test_concurrent_solve_day_is_serialized_and_correct(
+        self, small_setup, predictions, planning_configs
+    ):
+        """Hammer one cache from several threads: the internal lock must
+        serialize the RHS-mutate + solve critical sections, and the
+        unique-vertex contract makes every result equal the fresh
+        single-threaded solve for its day, regardless of interleaving."""
+        reference = {
+            day: PlanCache(small_setup.scenario, planning_configs).solve_day(
+                predictions[day], e2e_bound_ms=day_e2e_bound_ms(day)
+            )
+            for day in DAYS
+        }
+        cache = PlanCache(small_setup.scenario, planning_configs, reuse_basis=True)
+        results = {}
+        errors = []
+
+        def worker(order):
+            try:
+                for day in order:
+                    results[(threading.get_ident(), day)] = (
+                        day,
+                        cache.solve_day(predictions[day], e2e_bound_ms=day_e2e_bound_ms(day)),
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(order,))
+            for order in (DAYS, list(reversed(DAYS)))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(results) == 2 * len(DAYS)
+        for day, solved in results.values():
+            assert solved.is_optimal
+            assert solved.objective == pytest.approx(reference[day].objective, rel=1e-9)
