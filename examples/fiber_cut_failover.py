@@ -13,11 +13,19 @@ Two production anecdotes, simulated:
   Internet path riding one transit into a DC (a one-to-many pattern),
   and BGP failover to an alternate peer clears it.
 
+* **A full campaign day**: the same fiber cut as a
+  :class:`~repro.core.stress.StressTimeline` event, replayed end to end
+  with intraday replanning at the §6.3 cadence — the planner detects
+  the cut at onset, refreshes the hot LP's capacity RHS, and splices a
+  new plan for the remaining slots.
+
 Run:
     python examples/fiber_cut_failover.py
 """
 
 from repro.core.capacity import InternetCapacityBook
+from repro.core.stress import StressTimeline, campaign_scenarios, run_campaign_day
+from repro.core.titan_next import build_europe_setup
 from repro.geo.world import default_world
 from repro.net.events import EventSchedule, TransitCongestion, TransitSelector
 from repro.net.latency import WAN, LatencyModel
@@ -86,9 +94,33 @@ def transit_congestion_story() -> None:
         print(f"  {country}: now on {new_isp!r}, +{extra:.1f}% loss")
 
 
+def campaign_day_story() -> None:
+    """The cut as a stress campaign: a whole day with intraday replanning."""
+    setup = build_europe_setup(daily_calls=6_000.0, top_n_configs=60)
+    day = 2
+    baseline = run_campaign_day(setup, StressTimeline(()), day=day)
+    timeline = campaign_scenarios(setup)["fiber-cut"]
+    cut = timeline.events[0]
+    result = run_campaign_day(setup, timeline, day=day)
+
+    print(f"\nCampaign day {day}: fiber cut on {cut.node_a}--{cut.node_b}, "
+          f"slots {cut.start_slot}-{cut.end_slot}")
+    print(f"  replan rounds: {result.replanned_rounds} solved, "
+          f"{result.infeasible_rounds} infeasible (stale plan kept)")
+    print(f"  WAN sum-of-peaks: {result.evaluation.sum_of_peaks_gbps:.4f} Gbps "
+          f"(baseline {baseline.evaluation.sum_of_peaks_gbps:.4f})")
+    print(f"  Internet share:   {result.evaluation.internet_share:.1%} "
+          f"(baseline {baseline.evaluation.internet_share:.1%})")
+    print(f"  surge fallbacks: {result.surge_rate:.2%} of calls, "
+          f"quota overdraft: {result.overflow_rate:.2%}")
+    print("  the replans move the cut corridor's Internet load back onto the WAN "
+          "for the cut window, then restore it once the repair lands")
+
+
 def main() -> None:
     fiber_cut_story()
     transit_congestion_story()
+    campaign_day_story()
 
 
 if __name__ == "__main__":

@@ -80,6 +80,27 @@ class InternetCapacityBook:
     def pairs(self) -> Iterable[PairCapacity]:
         return list(self._pairs.values())
 
+    def snapshot(self) -> Dict[Tuple[str, str], Tuple[float, float, bool]]:
+        """The full (fraction, gbps, disabled) state, for later restore.
+
+        A stress campaign folds event capacity factors into the live
+        book (so replans see them) and restores the pre-campaign state
+        afterwards; snapshot/restore is that bracket.
+        """
+        return {
+            key: (pair.fraction, pair.gbps, pair.disabled)
+            for key, pair in self._pairs.items()
+        }
+
+    def restore(self, snapshot: Mapping[Tuple[str, str], Tuple[float, float, bool]]) -> None:
+        """Reset the book to a :meth:`snapshot` (new pairs are dropped)."""
+        self._pairs = {}
+        for (country_code, dc_code), (fraction, gbps, disabled) in snapshot.items():
+            pair = self.pair(country_code, dc_code)
+            pair.fraction = fraction
+            pair.gbps = gbps
+            pair.disabled = disabled
+
     def scaled(self, factor: float) -> "InternetCapacityBook":
         """A copy with all capacities multiplied by ``factor``.
 

@@ -139,8 +139,11 @@ class LpArtifacts:
 
     Column ``j`` of the LP is
     ``(col_t[j], configs[col_cfg[j]], dc_codes[col_dc[j]], _OPTIONS[col_opt[j]])``;
-    ``c1_block.rhs`` / ``c4_block.rhs`` are the only arrays a multi-day
-    plan cache needs to mutate between solves.
+    ``c1_block.rhs`` / ``c4_block.rhs`` are the arrays a multi-day plan
+    cache mutates between solves.  The C2 (compute) and C3 (Internet
+    capacity) blocks are retained too, with per-row key arrays, so a
+    stress campaign can refresh *capacity* right-hand sides in place —
+    outages and cuts are RHS-only changes, exactly like demand.
     """
 
     configs: List[CallConfig]
@@ -158,6 +161,16 @@ class LpArtifacts:
     n_links: int
     c1_block: Optional[ConstraintBlock] = None
     c4_block: Optional[ConstraintBlock] = None
+    c2_block: Optional[ConstraintBlock] = None
+    #: (slot, dc index) per C2 row, aligned with ``c2_block.rhs``.
+    c2_slot: Optional[np.ndarray] = None
+    c2_dc: Optional[np.ndarray] = None
+    c3_block: Optional[ConstraintBlock] = None
+    #: (slot, country index, dc index) per C3 row, aligned with
+    #: ``c3_block.rhs``; country is -1 in per-DC C3 mode.
+    c3_slot: Optional[np.ndarray] = None
+    c3_country: Optional[np.ndarray] = None
+    c3_dc: Optional[np.ndarray] = None
     #: Lazily built (t, config, dc, option) -> column handle map.
     _column_index: Optional[Dict[Tuple[int, CallConfig, str, str], int]] = field(
         default=None, repr=False, compare=False
@@ -416,9 +429,11 @@ class JointAssignmentLp:
         caps = np.asarray([scenario.compute_caps[dc] for dc in dc_codes])
         if opts.single_dc_per_config:
             caps = caps * opts.single_dc_cap_relax
-        lp.add_constraint_block(
+        artifacts.c2_block = lp.add_constraint_block(
             c2_rows, x_cols, cores[col_cfg], "<=", caps[c2_uniq % n_dc], name="C2"
         )
+        artifacts.c2_slot = c2_uniq // n_dc
+        artifacts.c2_dc = c2_uniq % n_dc
 
         # C3 — Internet capacity.
         if opts.allow_internet:
@@ -443,7 +458,12 @@ class JointAssignmentLp:
                             for k in uniq
                         ]
                     )
-                    lp.add_constraint_block(rows, entry_cols, entry_vals, "<=", rhs, name="C3")
+                    artifacts.c3_block = lp.add_constraint_block(
+                        rows, entry_cols, entry_vals, "<=", rhs, name="C3"
+                    )
+                    artifacts.c3_slot = uniq // (n_dc * n_country)
+                    artifacts.c3_country = (uniq // n_dc) % n_country
+                    artifacts.c3_dc = uniq % n_dc
                 else:
                     key = col_t[inet] * n_dc + col_dc[inet]
                     uniq, rows = np.unique(key, return_inverse=True)
@@ -457,9 +477,12 @@ class JointAssignmentLp:
                             for dc in dc_codes
                         ]
                     )
-                    lp.add_constraint_block(
+                    artifacts.c3_block = lp.add_constraint_block(
                         rows, inet, total_bw[col_cfg[inet]], "<=", per_dc_cap[uniq % n_dc], name="C3"
                     )
+                    artifacts.c3_slot = uniq // n_dc
+                    artifacts.c3_country = np.full(uniq.size, -1, dtype=np.int64)
+                    artifacts.c3_dc = uniq % n_dc
 
         # C4 — average max-E2E latency bound (Titan-Next only).
         if sum_of_peaks:

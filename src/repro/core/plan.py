@@ -81,6 +81,24 @@ class OfflinePlan:
             entry.buckets[key] = entry.buckets.get(key, 0.0) + count
         return plan
 
+    def splice(self, from_slot: int, assignment: AssignmentTable) -> None:
+        """Replace quotas for slots ≥ ``from_slot`` with a fresh plan.
+
+        The rolling replanner's primitive (§6.3): every entry at or
+        after ``from_slot`` is dropped and the positive counts of
+        ``assignment`` (restricted to those slots) are installed in its
+        place.  Past slots are never touched — calls already assigned
+        stay assigned.
+        """
+        for key in [k for k in self._entries if k[0] >= from_slot]:
+            del self._entries[key]
+        for (t, config, dc, option), count in assignment.items():
+            if count <= 0 or t < from_slot:
+                continue
+            entry = self._entries.setdefault((t, config), PlanEntry())
+            bucket = (dc, option)
+            entry.buckets[bucket] = entry.buckets.get(bucket, 0.0) + count
+
     def entry(self, slot: int, config: CallConfig) -> Optional[PlanEntry]:
         return self._entries.get((slot, config))
 

@@ -11,12 +11,30 @@ book (which Titan may have changed — e.g. an emergency brake zeroing a
 pair mid-day) and splices the fresh plan into the controller's quota
 table for future slots only.  Past slots are never rewritten: calls
 already assigned stay assigned.
+
+Two solve paths share the splice-and-record loop:
+
+* the **fresh-LP path** (default) builds a new
+  :class:`~repro.core.lp.JointAssignmentLp` per round off the live
+  capacity book — correct for arbitrary mid-day book mutations, but it
+  pays full model assembly every 30 minutes;
+* the **cached path** (``configs=`` given) keeps one hot
+  :class:`~repro.core.titan_next.PlanCache` across rounds: each replan
+  is a C1/C4 RHS refresh + basis hot-start, and capacity changes reach
+  the solver through :meth:`PlanCache.refresh_capacity_rhs` (outages
+  and cuts are RHS-only edits too).  This is what makes intraday
+  replanning affordable inside a stress campaign sweeping many days.
+
+An infeasible round is not an error on either path: the previous plan
+is kept for the remaining slots and the §6.4 surge path absorbs the
+calls the stale plan cannot place (visible as
+``ControllerStats.unplanned_rate`` after replay).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..workload.configs import CallConfig
 from .capacity import InternetCapacityBook
@@ -46,6 +64,7 @@ class RollingPlanner:
         options: Optional[JointLpOptions] = None,
         cadence: int = 1,
         slots_per_day: int = 48,
+        configs: Optional[Sequence[CallConfig]] = None,
     ) -> None:
         if cadence < 1:
             raise ValueError("cadence must be >= 1 slot")
@@ -55,6 +74,22 @@ class RollingPlanner:
         self.slots_per_day = slots_per_day
         self.plan = OfflinePlan()
         self.events: List[ReplanEvent] = []
+        self.plan_cache = None
+        if configs is not None:
+            from .titan_next import PlanCache
+
+            # One hot LP structure for every round of the day: a replan
+            # pins past slots' C1 rows to zero demand and re-solves from
+            # the previous round's basis.  Demand keys outside the
+            # given config set are a structural error (KeyError), same
+            # as PlanCache's multi-day contract.
+            self.plan_cache = PlanCache(
+                scenario,
+                sorted(set(configs), key=str),
+                slots=range(slots_per_day),
+                options=self.options,
+                reuse_basis=True,
+            )
 
     def _remaining_demand(self, demand: DemandTable, from_slot: int) -> Dict[Tuple[int, CallConfig], float]:
         return {(t, c): v for (t, c), v in demand.items() if t >= from_slot and v > 0}
@@ -70,26 +105,14 @@ class RollingPlanner:
         if not remaining:
             self.events.append(ReplanEvent(from_slot, True, 0.0, 0))
             return True
-        lp = JointAssignmentLp(self.scenario, remaining, self.options)
-        result = lp.solve()
+        if self.plan_cache is not None:
+            result = self.plan_cache.solve_day(remaining)
+        else:
+            result = JointAssignmentLp(self.scenario, remaining, self.options).solve()
         if not result.is_optimal:
             self.events.append(ReplanEvent(from_slot, False, None, 0))
             return False
-        # Splice: replace quotas for future slots only.
-        for (t, config) in list(self.plan._entries):
-            if t >= from_slot:
-                del self.plan._entries[(t, config)]
-        for (t, config, dc, option), count in result.assignment.items():
-            if count <= 0:
-                continue
-            entry = self.plan._entries.setdefault((t, config), None)
-            if entry is None:
-                from .plan import PlanEntry
-
-                entry = PlanEntry()
-                self.plan._entries[(t, config)] = entry
-            key = (dc, option)
-            entry.buckets[key] = entry.buckets.get(key, 0.0) + count
+        self.plan.splice(from_slot, result.assignment)
         self.events.append(
             ReplanEvent(from_slot, True, result.sum_of_peaks(), len(result.assignment))
         )
@@ -105,7 +128,10 @@ class RollingPlanner:
         ``demand_provider(slot)`` returns the freshest demand forecast
         for the whole day at that slot (the paper refreshes estimates
         each round); ``capacity_update(slot, book)`` lets the caller
-        mutate the capacity book mid-day, as Titan would.
+        mutate the capacity book mid-day, as Titan would.  On the
+        cached path the book feeds only fresh-LP rebuilds — push
+        capacity changes to :attr:`plan_cache` via
+        ``refresh_capacity_rhs`` (the stress campaign runner does).
         """
         for slot in range(0, self.slots_per_day, self.cadence):
             if capacity_update is not None:

@@ -30,15 +30,44 @@ drops it on pickle).  ``backend="thread"`` shares the parent's setup
 (useful when the replay is numpy-dominated or processes are
 unavailable); ``workers=1`` runs inline and *is* the pinned serial
 reference path.
+
+**Fault tolerance.** Long sweeps die to the environment, not the math:
+a worker OOM-killed mid-replay collapses the whole
+``ProcessPoolExecutor`` (``BrokenProcessPool``), one hung solve stalls
+the window forever, and a transient error in day 93 of a 100-day sweep
+throws away 92 finished days.  The runner therefore gathers pooled
+results through a supervision loop governed by :class:`FaultPolicy`:
+
+* a task that *raises* is retried in place with exponential backoff,
+  up to ``max_retries`` — retries are safe because per-day work is a
+  pure function of the task tuple (the Philox counter-keying
+  contract), so a retried day is byte-identical to a first-try day;
+* a task that exceeds ``timeout_s`` has its pool killed and rebuilt,
+  and every incomplete task is resubmitted (only the hung task's
+  attempt counter advances);
+* a broken pool (worker killed by a signal/OOM) is rebuilt and all
+  incomplete tasks resubmitted, up to ``max_pool_rebuilds`` per pool;
+* tasks that exhaust their retries are reported as structured
+  :class:`SweepFailure` records on the raised :class:`SweepError` —
+  naming the phase, day, attempt count, and last error.
+
+``inject_fault=`` accepts a picklable callable (see
+:class:`KillWorkerFault`, :class:`HangFault`) invoked worker-side
+before every pooled task — the deterministic chaos hook the recovery
+tests drive.  The inline ``workers=1`` path never injects and never
+retries: it *is* the reference the recovered runs are compared to.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+import traceback as traceback_module
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from contextlib import contextmanager
-from functools import partial
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..workload.configs import CallConfig
@@ -68,6 +97,134 @@ def _resolve_workers(workers) -> int:
     if count < 1:
         raise ValueError("workers must be >= 1 (or 'auto')")
     return count
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance: policy, failure reports, chaos injectors
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Supervision knobs for pooled sweep phases.
+
+    ``timeout_s`` bounds how long the gatherer waits on any one task's
+    result once it becomes the next task in order; ``None`` disables
+    the hang watchdog.  ``max_retries`` is per task (exceptions and
+    hangs both advance the attempt counter); ``max_pool_rebuilds``
+    bounds kill-and-respawn cycles per pool, so a deterministic
+    crasher cannot respawn workers forever.
+    """
+
+    max_retries: int = 2
+    timeout_s: Optional[float] = None
+    backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.backoff_s < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based)."""
+        return self.backoff_s * self.backoff_multiplier ** max(attempt - 1, 0)
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """Structured record of one task incident.
+
+    Incidents that were *recovered* (a retry succeeded, a pool rebuild
+    carried on) land in :attr:`SweepRunner.fault_log`; incidents that
+    exhausted the retry budget ride the raised :class:`SweepError` as
+    its ``failures``.
+    """
+
+    kind: str  #: task family: "forecast", "replay", "plan-slot", "oracle"
+    label: str  #: human-readable task identity, e.g. "replay:day=31"
+    attempts: int  #: attempts so far for this task (1 + retries)
+    error_type: str  #: the exception's class name (or "Timeout"/"BrokenPool")
+    message: str  #: the exception's str()
+    traceback: str = ""  #: formatted traceback, when one exists
+
+
+class SweepError(RuntimeError):
+    """A sweep phase gave up; ``failures`` lists the dead tasks."""
+
+    def __init__(self, message: str, failures: Sequence[SweepFailure] = ()) -> None:
+        super().__init__(message)
+        self.failures: List[SweepFailure] = list(failures)
+
+
+def _task_day(task) -> Optional[int]:
+    """The day a task tuple targets, when its first element is one."""
+    if isinstance(task, tuple) and task and isinstance(task[0], int):
+        return task[0]
+    return None
+
+
+@dataclass(frozen=True)
+class KillWorkerFault:
+    """Chaos injector: hard-kill the worker running a chosen task.
+
+    ``os._exit`` mimics an OOM-kill/SIGKILL — no cleanup, no exception,
+    the pool just loses a process and every pending future breaks.
+    Fires once (attempt 0 only), so the rebuilt pool's resubmission
+    completes.  Process backend only: on the thread backend this would
+    take down the parent.
+    """
+
+    day: int
+    kind: str = "replay"
+    exit_code: int = 13
+
+    def __call__(self, kind: str, task, attempt: int) -> None:
+        if kind == self.kind and attempt == 0 and _task_day(task) == self.day:
+            os._exit(self.exit_code)
+
+
+@dataclass(frozen=True)
+class FlakyTaskFault:
+    """Chaos injector: raise a transient error on a task's first attempt.
+
+    The mildest failure mode — the worker survives, the pool survives,
+    only the task dies — exercising the in-place retry-with-backoff
+    path rather than a pool rebuild.
+    """
+
+    day: int
+    kind: str = "replay"
+    message: str = "injected transient failure"
+
+    def __call__(self, kind: str, task, attempt: int) -> None:
+        if kind == self.kind and attempt == 0 and _task_day(task) == self.day:
+            raise RuntimeError(f"{self.message} (day={self.day})")
+
+
+@dataclass(frozen=True)
+class HangFault:
+    """Chaos injector: stall a chosen task far past any sane timeout.
+
+    Sleeps ``seconds`` on attempt 0, simulating a wedged solver or
+    deadlocked worker; the supervision loop's ``timeout_s`` watchdog
+    must kill the pool and the resubmitted attempt runs clean.  The
+    sleep is finite so an un-watched run still terminates.
+    """
+
+    day: int
+    seconds: float = 60.0
+    kind: str = "replay"
+
+    def __call__(self, kind: str, task, attempt: int) -> None:
+        if kind == self.kind and attempt == 0 and _task_day(task) == self.day:
+            time.sleep(self.seconds)
 
 
 # ---------------------------------------------------------------------------
@@ -209,9 +366,93 @@ def _oracle_day_task(task, state: Optional[_WorkerState] = None):
     )
 
 
+#: Task-family names for failure reports and chaos-injector routing.
+_KIND_OF: Dict[Callable, str] = {
+    _forecast_day_task: "forecast",
+    _replay_day_task: "replay",
+    _plan_slot_task: "plan-slot",
+    _oracle_day_task: "oracle",
+}
+
+
+def _guarded_task(payload, state: Optional[_WorkerState] = None):
+    """Worker-side shim every pooled task runs through.
+
+    ``payload`` is ``(fn, kind, task, attempt, inject)``: the injector
+    (if any) fires first — it may kill the worker, hang, or raise —
+    then the real task function runs.  Keeping the shim module-level
+    keeps the submission picklable for the process backend.
+    """
+    fn, kind, task, attempt, inject = payload
+    if inject is not None:
+        inject(kind, task, attempt)
+    return fn(task, state=state)
+
+
 # ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
+
+
+class _PoolHandle:
+    """A rebuildable executor: what :meth:`SweepRunner.worker_pool` yields.
+
+    Owns the live executor plus everything needed to respawn it (the
+    pickled setup payload for process pools), so the supervision loop
+    can kill a broken/hung pool and carry on with the same handle.
+    Callers treat it as an executor — ``submit`` is the whole surface.
+    """
+
+    def __init__(self, backend: str, workers: int, mp_context, payload: Optional[bytes]) -> None:
+        self.backend = backend
+        self.workers = workers
+        self.mp_context = mp_context
+        self._payload = payload
+        self.rebuilds = 0
+        self._pool = self._spawn()
+
+    def _spawn(self):
+        if self.backend == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self.mp_context,
+            initializer=_init_worker,
+            initargs=(self._payload,),
+        )
+
+    def submit(self, fn, *args):
+        return self._pool.submit(fn, *args)
+
+    def kill(self) -> None:
+        """Tear the executor down without waiting on stuck work.
+
+        Process workers are terminated outright (the only way to
+        un-wedge a hung task); thread workers cannot be killed, so a
+        hung thread is abandoned to finish its (finite) sleep while
+        the handle moves on to a fresh executor.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def rebuild(self, policy: FaultPolicy) -> None:
+        """Kill and respawn, enforcing the policy's rebuild budget."""
+        self.rebuilds += 1
+        if self.rebuilds > policy.max_pool_rebuilds:
+            raise SweepError(
+                f"sweep pool broke {self.rebuilds} times "
+                f"(max_pool_rebuilds={policy.max_pool_rebuilds}); giving up"
+            )
+        self.kill()
+        self._pool = self._spawn()
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
 
 
 class SweepRunner:
@@ -235,6 +476,14 @@ class SweepRunner:
     ``d``, instead of strictly alternating phases).  Every combination
     reproduces the monolithic plans — bit-exactly for monolithic
     specs, to solver precision for decomposed ones.
+
+    ``fault_policy`` governs the pooled phases' supervision loop
+    (retries, hang timeout, pool rebuilds; see :class:`FaultPolicy`)
+    and ``inject_fault`` is the worker-side chaos hook — recovered
+    incidents accumulate in :attr:`fault_log`, unrecoverable ones
+    raise :class:`SweepError`.  Because per-day tasks are pure
+    functions of their tuples, a sweep that survives a killed or hung
+    worker still reproduces the serial reference byte for byte.
     """
 
     def __init__(
@@ -244,6 +493,8 @@ class SweepRunner:
         backend: Optional[str] = None,
         mp_context=None,
         planner=None,
+        fault_policy: Optional[FaultPolicy] = None,
+        inject_fault: Optional[Callable] = None,
     ) -> None:
         self.setup = setup
         self.workers = _resolve_workers(workers)
@@ -256,6 +507,15 @@ class SweepRunner:
         self.backend = backend
         self.mp_context = mp_context
         self.planner: PlannerSpec = resolve_planner(planner)
+        #: Supervision knobs for pooled phases; the serial path ignores
+        #: them (no pool, no retries — it is the pinned reference).
+        self.fault_policy = fault_policy if fault_policy is not None else FaultPolicy()
+        #: Worker-side chaos hook ``(kind, task, attempt) -> None``;
+        #: must pickle for the process backend.  Never fires inline.
+        self.inject_fault = inject_fault
+        #: Structured reports of every recovered incident this runner
+        #: has seen (successful retries included), newest last.
+        self.fault_log: List[SweepFailure] = []
         # Inline/thread execution state: shares the caller's setup, so
         # serial sweeps also reuse one TraceGenerator across days.
         self._state = _WorkerState(setup)
@@ -264,48 +524,174 @@ class SweepRunner:
 
     @contextmanager
     def worker_pool(self, tasks_hint: int):
-        """One executor shared by several :meth:`map_days` calls.
+        """One rebuildable pool shared by several :meth:`map_days` calls.
 
         A multi-phase sweep (forecast fan-out, serial planning, replay
         fan-out) should spawn its process workers — and unpickle the
         setup payload in each — once per sweep, not once per phase;
-        pass the yielded pool to each phase.  Yields ``None`` (inline
-        execution) for serial runners or single-task hints.
+        pass the yielded :class:`_PoolHandle` to each phase.  Yields
+        ``None`` (inline execution) for serial runners or single-task
+        hints.
         """
         if self.backend == "serial" or tasks_hint <= 1:
             yield None
             return
         workers = min(self.workers, tasks_hint)
-        if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                yield pool
-            return
-        payload = pickle.dumps(self.setup)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=self.mp_context,
-            initializer=_init_worker,
-            initargs=(payload,),
-        ) as pool:
-            yield pool
+        payload = pickle.dumps(self.setup) if self.backend == "process" else None
+        handle = _PoolHandle(self.backend, workers, self.mp_context, payload)
+        try:
+            yield handle
+        finally:
+            handle.shutdown()
 
     def map_days(self, fn: Callable, tasks: Sequence, pool=None) -> List:
         """Run ``fn`` over per-day tasks, in task order.
 
         Tasks must be independent (the per-day §7/§8 work is, by the
-        Philox counter-keying contract).  A single task — or a serial
-        runner — executes inline; ``pool`` reuses an executor from
-        :meth:`worker_pool` instead of opening one per call.
+        Philox counter-keying contract) — which is also what makes the
+        fault path sound: a retried or resubmitted task reproduces its
+        first-attempt result bit for bit.  A single task — or a serial
+        runner — executes inline with no supervision; ``pool`` reuses
+        a handle from :meth:`worker_pool` instead of opening one per
+        call.
         """
         tasks = list(tasks)
         if self.backend == "serial" or len(tasks) <= 1:
             return [fn(task, state=self._state) for task in tasks]
-        if self.backend == "thread":
-            fn = partial(fn, state=self._state)
         if pool is not None:
-            return list(pool.map(fn, tasks))
+            return self._gather(fn, tasks, pool)
         with self.worker_pool(len(tasks)) as opened:
-            return list(opened.map(fn, tasks))
+            return self._gather(fn, tasks, opened)
+
+    # -- supervision --------------------------------------------------------
+
+    def _submit_guarded(self, handle: _PoolHandle, fn: Callable, task, attempt: int):
+        """Submit one task through the worker-side guard shim.
+
+        Returns ``None`` when the pool is already broken at submit time
+        (a fast-dying worker can kill it mid-batch, making ``submit``
+        itself raise) — the marker routes the task into
+        :meth:`_gather`'s broken-pool recovery instead of letting the
+        synchronous ``BrokenProcessPool`` escape the supervisor.
+        """
+        payload = (fn, _KIND_OF.get(fn, getattr(fn, "__name__", "task")), task, attempt, self.inject_fault)
+        try:
+            if handle.backend == "thread":
+                return handle.submit(_guarded_task, payload, self._state)
+            return handle.submit(_guarded_task, payload)
+        except BrokenExecutor:
+            return None
+
+    @staticmethod
+    def _task_label(fn: Callable, task) -> str:
+        kind = _KIND_OF.get(fn, getattr(fn, "__name__", "task"))
+        day = _task_day(task)
+        return f"{kind}:day={day}" if day is not None else kind
+
+    def _incident(self, fn: Callable, task, attempts: int, error_type: str, exc: Optional[BaseException]) -> SweepFailure:
+        record = SweepFailure(
+            kind=_KIND_OF.get(fn, getattr(fn, "__name__", "task")),
+            label=self._task_label(fn, task),
+            attempts=attempts,
+            error_type=error_type,
+            message=str(exc) if exc is not None else "",
+            traceback="".join(traceback_module.format_exception(exc)) if exc is not None else "",
+        )
+        self.fault_log.append(record)
+        return record
+
+    def _harvest(self, pending: Dict[int, object], results: List) -> None:
+        """Bank every already-finished successful result in ``pending``.
+
+        Run before a pool kill: futures that completed before the kill
+        keep their results, and banking them means a rebuild only
+        re-runs genuinely incomplete days.  ``None`` entries mark tasks
+        whose submission already found the pool broken.
+        """
+        for index in [i for i, f in pending.items() if f is not None and f.done()]:
+            future = pending[index]
+            if future.cancelled() or future.exception() is not None:
+                continue
+            results[index] = future.result()
+            del pending[index]
+
+    def _gather(self, fn: Callable, tasks: Sequence, handle: _PoolHandle, pending=None) -> List:
+        """The supervision loop: gather pooled results, surviving faults.
+
+        Results are collected in task order.  A task exception retries
+        in place with backoff; a hang (``FaultPolicy.timeout_s``) or a
+        broken pool kills and rebuilds the executor and resubmits the
+        incomplete tail; tasks out of retries are reported together on
+        a :class:`SweepError` once everything else has finished.
+        ``pending`` lets pipelined callers hand in futures they already
+        submitted (index-keyed, aligned with ``tasks``).
+        """
+        policy = self.fault_policy
+        n = len(tasks)
+        results: List = [None] * n
+        attempts = [0] * n
+        failures: List[SweepFailure] = []
+
+        if pending is None:
+            pending = {i: self._submit_guarded(handle, fn, tasks[i], 0) for i in range(n)}
+
+        def resubmit_incomplete() -> None:
+            self._harvest(pending, results)
+            handle.rebuild(policy)
+            for j in list(pending):
+                pending[j] = self._submit_guarded(handle, fn, tasks[j], attempts[j])
+
+        def give_up(index: int, error_type: str, exc: Optional[BaseException]) -> None:
+            failures.append(self._incident(fn, tasks[index], attempts[index], error_type, exc))
+            del pending[index]
+
+        def recover_broken_pool(index: int, exc: Optional[BaseException]) -> None:
+            # A dead worker breaks every pending future at once and
+            # hides which task it was running, so every incomplete
+            # task pays an attempt — that is also what stops a
+            # first-attempt-keyed kill injector from re-firing.
+            for j in list(pending):
+                attempts[j] += 1
+                if attempts[j] > policy.max_retries:
+                    give_up(j, "BrokenPool", exc)
+            if pending:
+                if index in pending:
+                    self._incident(fn, tasks[index], attempts[index], "BrokenPool", exc)
+                resubmit_incomplete()
+
+        while pending:
+            index = min(pending)
+            future = pending[index]
+            if future is None:
+                recover_broken_pool(index, None)
+                continue
+            try:
+                results[index] = future.result(timeout=policy.timeout_s)
+                del pending[index]
+            except FutureTimeout as exc:
+                attempts[index] += 1
+                if attempts[index] > policy.max_retries:
+                    give_up(index, "Timeout", exc)
+                else:
+                    self._incident(fn, tasks[index], attempts[index], "Timeout", exc)
+                resubmit_incomplete()
+            except BrokenExecutor as exc:
+                recover_broken_pool(index, exc)
+            except Exception as exc:
+                attempts[index] += 1
+                if attempts[index] > policy.max_retries:
+                    give_up(index, type(exc).__name__, exc)
+                    continue
+                self._incident(fn, tasks[index], attempts[index], type(exc).__name__, exc)
+                time.sleep(policy.backoff_for(attempts[index]))
+                pending[index] = self._submit_guarded(handle, fn, tasks[index], attempts[index])
+        if failures:
+            raise SweepError(
+                f"{len(failures)} sweep task(s) failed after retries: "
+                + ", ".join(f.label for f in failures),
+                failures,
+            )
+        return results
 
     # -- §8 prediction sweeps ----------------------------------------------
 
@@ -474,17 +860,16 @@ class SweepRunner:
         Results are gathered at the end, keyed and ordered by day.
         """
         backend, bound_for = self._plan_backend(predictions, lp_options, pool)
-        fn = _replay_day_task
-        if self.backend == "thread":
-            fn = partial(_replay_day_task, state=self._state)
-        futures = []
+        tasks = []
+        pending = {}
         for day in day_list:
             solved = backend.solve_day(predictions[day], e2e_bound_ms=bound_for(day))
             if not solved.is_optimal:
                 raise RuntimeError(f"Titan-Next planning LP failed for day {day}: {solved.status}")
             task = (day, solved.assignment, policies, seed, reduced, evaluate)
-            futures.append(pool.submit(fn, task))
-        return dict(future.result() for future in futures)
+            pending[len(tasks)] = self._submit_guarded(pool, _replay_day_task, task, 0)
+            tasks.append(task)
+        return dict(self._gather(_replay_day_task, tasks, pool, pending=pending))
 
     def run_prediction_sweep(
         self,
@@ -538,7 +923,8 @@ class SweepRunner:
         with self.worker_pool(len(day_list)) as pool:
             backend, bound_for = self._plan_backend(demands, None, pool)
             if self.planner.pipelined and pool is not None:
-                futures = []
+                tasks = []
+                pending = {}
                 for day in day_list:
                     solved = backend.solve_day(demands[day], e2e_bound_ms=bound_for(day))
                     if not solved.is_optimal:
@@ -546,11 +932,9 @@ class SweepRunner:
                             f"Titan-Next cached LP failed for day {day}: {solved.status}"
                         )
                     task = (day, demands[day], solved.assignment, chosen)
-                    fn = _oracle_day_task
-                    if self.backend == "thread":
-                        fn = partial(_oracle_day_task, state=self._state)
-                    futures.append(pool.submit(fn, task))
-                return dict(future.result() for future in futures)
+                    pending[len(tasks)] = self._submit_guarded(pool, _oracle_day_task, task, 0)
+                    tasks.append(task)
+                return dict(self._gather(_oracle_day_task, tasks, pool, pending=pending))
             tn_plans: Dict[int, AssignmentTable] = {}
             for day in day_list:
                 solved = backend.solve_day(demands[day], e2e_bound_ms=bound_for(day))

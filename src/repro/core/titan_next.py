@@ -292,6 +292,15 @@ class PlanCache:
         self._prepared = PreparedHighs(self._lp, reuse_basis=reuse_basis)
         self._lock = threading.RLock()
         self.solves = 0
+        # Build-time capacity RHS, the baseline refresh_capacity_rhs
+        # scales: C2 compute caps and C3 Internet caps as of the
+        # capacity book / compute calibration the cache was built from.
+        self._base_c2_rhs = (
+            self._artifacts.c2_block.rhs.copy() if self._artifacts.c2_block is not None else None
+        )
+        self._base_c3_rhs = (
+            self._artifacts.c3_block.rhs.copy() if self._artifacts.c3_block is not None else None
+        )
 
     @property
     def num_variables(self) -> int:
@@ -315,6 +324,52 @@ class PlanCache:
                 )
             counts[group] += value
         return counts
+
+    def refresh_capacity_rhs(
+        self,
+        internet_factor=None,
+        compute_factor=None,
+    ) -> None:
+        """Rewrite the C2/C3 capacity right-hand sides in place.
+
+        ``compute_factor(slot, dc_code)`` and ``internet_factor(slot,
+        country_code, dc_code)`` return a multiplier on the *build-time*
+        capacity of that row (``country_code`` is ``None`` for per-DC C3
+        rows); ``None`` restores that family's baseline.  Capacity is
+        world state, not per-day input, so — unlike the C1/C4 demand
+        refresh — the installed values persist across solves until the
+        next call.  The persistent HiGHS session picks the new bounds up
+        on its next solve (row bounds are diffed from the live blocks),
+        keeping the basis hot: an outage or a cut is an RHS-only edit,
+        structurally identical to a demand change.
+
+        Factors can only shrink what the built structure can express:
+        pairs with zero build-time Internet capacity have no Internet
+        columns, so a factor > 1 on them has nothing to enable.
+        """
+        with self._lock:
+            artifacts = self._artifacts
+            if artifacts.c2_block is not None:
+                rhs = self._base_c2_rhs.copy()
+                if compute_factor is not None:
+                    for i in range(rhs.size):
+                        rhs[i] *= compute_factor(
+                            int(artifacts.c2_slot[i]),
+                            artifacts.dc_codes[int(artifacts.c2_dc[i])],
+                        )
+                artifacts.c2_block.rhs[:] = rhs
+            if artifacts.c3_block is not None:
+                country_codes = self.scenario.country_codes
+                rhs = self._base_c3_rhs.copy()
+                if internet_factor is not None:
+                    for i in range(rhs.size):
+                        ci = int(artifacts.c3_country[i])
+                        rhs[i] *= internet_factor(
+                            int(artifacts.c3_slot[i]),
+                            country_codes[ci] if ci >= 0 else None,
+                            artifacts.dc_codes[int(artifacts.c3_dc[i])],
+                        )
+                artifacts.c3_block.rhs[:] = rhs
 
     def _solve_with_rhs(self, counts: np.ndarray, bound: float, solve) -> JointLpResult:
         """Install a day's RHS, run ``solve``, and extract the plan.

@@ -25,6 +25,13 @@ from .eval_exps import (
 )
 from .measurement_exps import run_fig3, run_fig4, run_fig5, run_fig18, run_fig19, run_tab1
 from .quality_exps import run_fig6, run_fig7, run_fig8, run_fig11, run_fig16, run_fig17
+from .stress_exps import (
+    run_stress_dc_outage,
+    run_stress_demand_shock,
+    run_stress_fiber_cut,
+    run_stress_flash_crowd,
+    run_stress_holiday,
+)
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "tab1": run_tab1,
@@ -51,6 +58,11 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "abl-ilp": run_ablation_single_dc,
     "abl-split": run_ablation_split_routing,
     "abl-fibercut": run_ablation_fiber_cut,
+    "stress-fibercut": run_stress_fiber_cut,
+    "stress-dcoutage": run_stress_dc_outage,
+    "stress-flashcrowd": run_stress_flash_crowd,
+    "stress-holiday": run_stress_holiday,
+    "stress-shock": run_stress_demand_shock,
 }
 
 

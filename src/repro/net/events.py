@@ -75,14 +75,24 @@ class TransitSelector:
         self.world = world
         self.seed = seed
         self._failed: Dict[Tuple[str, str], set] = {}
+        self._preferences: Dict[Tuple[str, str], List[str]] = {}
 
     def _preference(self, country_code: str, dc_code: str) -> List[str]:
+        # The order is a pure function of (seed, country, dc), so it is
+        # computed once per pair; every selected_transit call used to
+        # reseed an RNG and reshuffle.  Callers only iterate the result.
+        key = (country_code, dc_code)
+        cached = self._preferences.get(key)
+        if cached is not None:
+            return cached
         dc = self.world.dc(dc_code)
         isps = list(dc.transit_isps)
-        if not isps:
-            return []
-        rng = np.random.default_rng((self.seed, stable_hash(country_code), stable_hash(dc_code)))
-        rng.shuffle(isps)
+        if isps:
+            rng = np.random.default_rng(
+                (self.seed, stable_hash(country_code), stable_hash(dc_code))
+            )
+            rng.shuffle(isps)
+        self._preferences[key] = isps
         return isps
 
     def selected_transit(self, country_code: str, dc_code: str) -> Optional[str]:
@@ -157,3 +167,30 @@ class EventSchedule:
             if cut.link.key == link.key:
                 return 0.0
         return 1.0
+
+    def capacity_matrix(
+        self, links: Sequence[WanLink], start_slot: int, slots: int
+    ) -> np.ndarray:
+        """``wan_capacity_factor`` for a whole window: ``(links, slots)``.
+
+        Entry ``[i, j]`` equals ``wan_capacity_factor(links[i],
+        start_slot + j)``, but the cut list is scanned once per cut
+        (each cut zeroes its row interval) rather than once per
+        (link, slot), so batch consumers pay O(links·slots) to fill
+        the array instead of O(links·slots·cuts) to scan it.
+        """
+        if slots < 0:
+            raise ValueError("slots must be non-negative")
+        factors = np.ones((len(links), slots))
+        if not self.fiber_cuts:
+            return factors
+        row_of = {link.key: i for i, link in enumerate(links)}
+        for cut in self.fiber_cuts:
+            row = row_of.get(cut.link.key)
+            if row is None:
+                continue
+            lo = max(cut.start_slot - start_slot, 0)
+            hi = min(cut.end_slot - start_slot, slots)
+            if lo < hi:
+                factors[row, lo:hi] = 0.0
+        return factors

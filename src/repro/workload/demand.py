@@ -309,12 +309,19 @@ class DemandModel:
         return float((self.daily_calls * rate) * (shape * self._weekday[day % 7]))
 
     def expected_matrix(
-        self, start_slot: int, slots: int, top_n: Optional[int] = None
+        self,
+        start_slot: int,
+        slots: int,
+        top_n: Optional[int] = None,
+        multipliers: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Expected calls for a whole window: ``(n_configs, slots)``.
 
         Rows follow ``universe.top(top_n)`` order; entry ``[i, j]``
         equals ``expected_count(configs[i], start_slot + j)`` exactly.
+        ``multipliers`` (broadcastable to ``(n_configs, slots)``) scales
+        the expectation per (config, slot) — the stress-campaign hook
+        for flash crowds, holiday shifts, and correlated demand shocks.
         """
         if start_slot < 0:
             raise ValueError("start_slot must be non-negative")
@@ -322,19 +329,31 @@ class DemandModel:
             raise ValueError("slots must be non-negative")
         n = len(self._top(top_n))
         scaled = self.daily_calls * self._rate_arr[:n]
-        return scaled[:, None] * self._slot_shape(start_slot, slots)[None, :]
+        expected = scaled[:, None] * self._slot_shape(start_slot, slots)[None, :]
+        if multipliers is not None:
+            expected = expected * np.asarray(multipliers, dtype=np.float64)
+        return expected
 
     # -- sampling ----------------------------------------------------------
 
     def counts_matrix(
-        self, start_slot: int, slots: int, top_n: Optional[int] = None
+        self,
+        start_slot: int,
+        slots: int,
+        top_n: Optional[int] = None,
+        multipliers: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Sampled counts for a whole window: int64 ``(n_configs, slots)``.
 
         Entry ``[i, j]`` equals ``sample_count(configs[i],
         start_slot + j)`` — the scalar APIs are views of this stream.
+        ``multipliers`` scales the Poisson rate per (config, slot)
+        *before* the inverse-CDF draw: the same slot-addressed uniforms
+        feed a scaled λ, so a stressed window stays a pure function of
+        ``(seed, config, slot, multiplier)`` and unstressed entries are
+        bit-identical to the unstressed window.
         """
-        lam = self.expected_matrix(start_slot, slots, top_n) * self._slot_shocks(
+        lam = self.expected_matrix(start_slot, slots, top_n, multipliers=multipliers) * self._slot_shocks(
             start_slot, slots
         )[None, :]
         demands = self._top(top_n)

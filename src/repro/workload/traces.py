@@ -317,19 +317,30 @@ class TraceGenerator:
 
     # -- batch path --------------------------------------------------------
 
-    def table_for_window(self, start_slot: int, slots: int, id_offset: int = 0) -> CallTable:
+    def table_for_window(
+        self,
+        start_slot: int,
+        slots: int,
+        id_offset: int = 0,
+        multipliers: Optional[np.ndarray] = None,
+    ) -> CallTable:
         """One window of calls as a :class:`CallTable`, in one pass.
 
         Row-for-row identical to :meth:`calls_for_window` (same counts,
         same per-(config, slot) uniforms, same inverse-CDF draws), but
         the counts come from one ``counts_matrix`` window and the
         duration / first-joiner transforms run vectorized over all
-        calls at once.
+        calls at once.  ``multipliers`` (broadcastable to
+        ``(n_configs, slots)``) scales the Poisson rates — the stress
+        campaigns' flash-crowd / holiday / shock hook; per-call draws
+        stay on the same slot-addressed streams.
         """
         if slots < 0:
             raise ValueError("slots must be non-negative")
         configs = self._configs()
-        counts = self.demand.counts_matrix(start_slot, slots, top_n=self.top_n_configs)
+        counts = self.demand.counts_matrix(
+            start_slot, slots, top_n=self.top_n_configs, multipliers=multipliers
+        )
         order = self._str_order
         assert order is not None
 
@@ -378,6 +389,8 @@ class TraceGenerator:
             first_idx[mask] = first_joiner_from_uniform(draw.cum_weights, u_first[mask])
         return CallTable(configs, config_idx, start_slots, durations, first_idx, id_offset)
 
-    def table_for_day(self, day: int) -> CallTable:
+    def table_for_day(self, day: int, multipliers: Optional[np.ndarray] = None) -> CallTable:
         """One day of calls as a :class:`CallTable` (day 0 = Monday)."""
-        return self.table_for_window(day * SLOTS_PER_DAY, SLOTS_PER_DAY)
+        return self.table_for_window(
+            day * SLOTS_PER_DAY, SLOTS_PER_DAY, multipliers=multipliers
+        )

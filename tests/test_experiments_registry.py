@@ -19,6 +19,16 @@ class TestRegistry:
         ablations = {"abl-mponly", "abl-2x", "abl-e2e", "abl-ilp", "abl-split", "abl-fibercut"}
         assert ablations <= set(experiment_ids())
 
+    def test_stress_campaigns_registered(self):
+        campaigns = {
+            "stress-fibercut",
+            "stress-dcoutage",
+            "stress-flashcrowd",
+            "stress-holiday",
+            "stress-shock",
+        }
+        assert campaigns <= set(experiment_ids())
+
     def test_unknown_experiment_raises_with_suggestions(self):
         with pytest.raises(KeyError) as excinfo:
             run_experiment("fig99")

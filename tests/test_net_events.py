@@ -124,3 +124,58 @@ class TestOneToManyCongestion:
         assert schedule.extra_internet_loss_pct("FR", "westeurope", 5, selector) == 1.0
         selector.mark_failed("FR", "westeurope", isp)
         assert schedule.extra_internet_loss_pct("FR", "westeurope", 5, selector) == 0.0
+
+
+class TestCapacityMatrix:
+    """Vectorized EventSchedule.capacity_matrix vs the scalar factor."""
+
+    def test_matches_scalar_wan_capacity_factor(self, topology):
+        cut_a = FiberCut(topology.links[0], 5, 12)
+        cut_b = FiberCut(topology.links[2], 0, 40)
+        schedule = EventSchedule(topology, fiber_cuts=[cut_a, cut_b])
+        links = topology.links[:4]
+        matrix = schedule.capacity_matrix(links, start_slot=3, slots=20)
+        assert matrix.shape == (4, 20)
+        for i, link in enumerate(links):
+            for j in range(20):
+                assert matrix[i, j] == schedule.wan_capacity_factor(link, 3 + j)
+
+    def test_no_cuts_is_all_ones(self, topology):
+        schedule = EventSchedule(topology)
+        matrix = schedule.capacity_matrix(topology.links, 0, 48)
+        assert matrix.shape == (len(topology.links), 48)
+        assert (matrix == 1.0).all()
+
+    def test_window_clipping(self, topology):
+        # A cut entirely before / after the window leaves it untouched.
+        schedule = EventSchedule(
+            topology,
+            fiber_cuts=[FiberCut(topology.links[0], 0, 5), FiberCut(topology.links[1], 60, 70)],
+        )
+        matrix = schedule.capacity_matrix(topology.links[:2], start_slot=10, slots=20)
+        assert (matrix == 1.0).all()
+
+    def test_negative_slots_rejected(self, topology):
+        with pytest.raises(ValueError):
+            EventSchedule(topology).capacity_matrix(topology.links, 0, -1)
+
+
+class TestPreferenceCache:
+    def test_preference_computed_once_per_pair(self, world):
+        selector = TransitSelector(world)
+        first = selector._preference("FR", "westeurope")
+        assert selector._preference("FR", "westeurope") is first  # cached list
+        # The cache must not leak across pairs or change the ordering
+        # contract: same (seed, country, dc) -> same order.
+        assert selector._preference("DE", "westeurope") == TransitSelector(world)._preference(
+            "DE", "westeurope"
+        )
+
+    def test_cache_survives_failover_cycles(self, world):
+        selector = TransitSelector(world)
+        order = list(selector._preference("FR", "westeurope"))
+        first = selector.selected_transit("FR", "westeurope")
+        selector.mark_failed("FR", "westeurope", first)
+        selector.restore("FR", "westeurope")
+        assert selector._preference("FR", "westeurope") == order
+        assert selector.selected_transit("FR", "westeurope") == first

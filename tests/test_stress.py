@@ -1,0 +1,252 @@
+"""Stress & failure campaigns: events, multipliers, replanning, overflow.
+
+Pins the contracts the stress layer is built on: demand multipliers
+scale Poisson rates without disturbing unstressed draws, capacity
+factors reach the hot LP's RHS and the live capacity book, plan splice
+rewrites only the future, infeasible replan rounds degrade gracefully,
+and the quota-overflow metric accounts for the §6.4 surge load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import OfflinePlan
+from repro.core.stress import (
+    DcOutageEvent,
+    DemandShockEvent,
+    FiberCutEvent,
+    FlashCrowdEvent,
+    HolidayEvent,
+    StressTimeline,
+    campaign_scenarios,
+    quota_overflow,
+    run_campaign_day,
+)
+
+DAY = 2
+SLOTS = 48
+
+
+@pytest.fixture(scope="module")
+def raw_configs(small_setup):
+    return [item.config for item in small_setup.universe.top(small_setup.top_n_configs)]
+
+
+@pytest.fixture(scope="module")
+def scenarios(small_setup):
+    return campaign_scenarios(small_setup)
+
+
+@pytest.fixture(scope="module")
+def baseline_run(small_setup):
+    return run_campaign_day(small_setup, StressTimeline(()), day=DAY)
+
+
+class TestEvents:
+    def test_windows_validated(self):
+        with pytest.raises(ValueError):
+            FlashCrowdEvent("DE", 10, 10)
+        with pytest.raises(ValueError):
+            HolidayEvent(0, 48, multiplier=-0.1)
+        with pytest.raises(ValueError):
+            FiberCutEvent("a", "b", 0, 5, internet_factor_during=1.5)
+
+    def test_flash_crowd_scopes_to_country(self, raw_configs):
+        event = FlashCrowdEvent("DE", 0, 8, multiplier=4.0)
+        for config in raw_configs:
+            expected = 4.0 if "DE" in config.countries else 1.0
+            assert event.demand_factor(config) == expected
+
+    def test_global_events_hit_every_config(self, raw_configs):
+        for event in (HolidayEvent(0, 48, multiplier=0.5), DemandShockEvent(0, 48, multiplier=2.0)):
+            assert all(event.demand_factor(c) != 1.0 for c in raw_configs)
+
+    def test_dc_outage_zeroes_both_capacity_families(self, small_setup):
+        scenario = small_setup.scenario
+        dc = scenario.dc_codes[-1]
+        event = DcOutageEvent(dc, 0, 8)
+        assert event.compute_factor(dc) == 0.0
+        assert event.internet_factor("DE", dc, scenario) == 0.0
+        other = scenario.dc_codes[0]
+        assert event.compute_factor(other) == 1.0
+        assert event.internet_factor("DE", other, scenario) == 1.0
+
+    def test_fiber_cut_hits_pairs_crossing_the_link(self, small_setup, scenarios):
+        scenario = small_setup.scenario
+        cut = scenarios["fiber-cut"].events[0]
+        affected = [
+            (country, dc)
+            for country in scenario.country_codes
+            for dc in scenario.dc_codes
+            if cut.internet_factor(country, dc, scenario) == 0.0
+        ]
+        assert ("GB", scenario.dc_codes[0]) in affected
+        assert len(affected) < len(scenario.country_codes) * len(scenario.dc_codes)
+
+
+class TestDemandMultipliers:
+    def test_neutral_timeline_is_identity(self, small_setup, raw_configs):
+        multipliers = StressTimeline(()).demand_multipliers(raw_configs, SLOTS)
+        assert (multipliers == 1.0).all()
+        base = small_setup.demand.counts_matrix(DAY * SLOTS, SLOTS, top_n=small_setup.top_n_configs)
+        with_ones = small_setup.demand.counts_matrix(
+            DAY * SLOTS, SLOTS, top_n=small_setup.top_n_configs, multipliers=multipliers
+        )
+        assert np.array_equal(base, with_ones)
+
+    def test_unstressed_entries_stay_bit_identical(self, small_setup, raw_configs):
+        timeline = StressTimeline((FlashCrowdEvent("DE", 20, 28, multiplier=3.0),))
+        multipliers = timeline.demand_multipliers(raw_configs, SLOTS)
+        base = small_setup.demand.counts_matrix(DAY * SLOTS, SLOTS, top_n=small_setup.top_n_configs)
+        stressed = small_setup.demand.counts_matrix(
+            DAY * SLOTS, SLOTS, top_n=small_setup.top_n_configs, multipliers=multipliers
+        )
+        untouched = multipliers == 1.0
+        assert np.array_equal(base[untouched], stressed[untouched])
+        assert stressed[~untouched].sum() > base[~untouched].sum()
+
+    def test_overlapping_events_multiply(self, raw_configs):
+        timeline = StressTimeline(
+            (DemandShockEvent(0, 48, multiplier=2.0), HolidayEvent(10, 20, multiplier=0.5))
+        )
+        multipliers = timeline.demand_multipliers(raw_configs, SLOTS)
+        assert multipliers[0, 5] == 2.0
+        assert multipliers[0, 15] == 1.0  # 2.0 × 0.5
+
+    def test_visibility_gates_future_events(self, raw_configs):
+        timeline = StressTimeline((FlashCrowdEvent("DE", 20, 28, multiplier=3.0),))
+        before = timeline.demand_multipliers(raw_configs, SLOTS, visible_from=16)
+        assert (before == 1.0).all()
+        after = timeline.demand_multipliers(raw_configs, SLOTS, visible_from=20)
+        assert after.max() == 3.0
+
+
+class TestCapacityPlumbing:
+    def test_factor_fns_respect_event_windows(self, small_setup):
+        scenario = small_setup.scenario
+        dc = scenario.dc_codes[-1]
+        timeline = StressTimeline((DcOutageEvent(dc, 18, 30),))
+        internet_fn, compute_fn = timeline.capacity_factor_fns(scenario)
+        assert compute_fn(20, dc) == 0.0
+        assert compute_fn(17, dc) == 1.0  # before the outage
+        assert compute_fn(30, dc) == 1.0  # scheduled end is known
+        assert internet_fn(20, "DE", dc) == 0.0
+        assert internet_fn(20, "DE", scenario.dc_codes[0]) == 1.0
+
+    def test_fold_into_book_and_restore(self, small_setup):
+        scenario = small_setup.scenario
+        book = scenario.capacity_book
+        dc = scenario.dc_codes[-1]
+        baseline = book.snapshot()
+        timeline = StressTimeline((DcOutageEvent(dc, 0, 48),))
+        try:
+            timeline.fold_into_book(book, scenario, at_slot=5, baseline=baseline)
+            zeroed = [p for p in book.pairs() if p.dc_code == dc]
+            assert zeroed and all(p.gbps == 0.0 for p in zeroed)
+        finally:
+            book.restore(baseline)
+        assert book.snapshot() == baseline
+
+    def test_event_schedule_resolves_cuts(self, small_setup, scenarios):
+        scenario = small_setup.scenario
+        schedule = scenarios["fiber-cut"].event_schedule(scenario)
+        assert len(schedule.fiber_cuts) == 1
+        cut = scenarios["fiber-cut"].events[0]
+        matrix = schedule.capacity_matrix(scenario.wan_links, 0, SLOTS)
+        row = [i for i, link in enumerate(scenario.wan_links) if link.key == cut.link_key]
+        assert (matrix[row[0], cut.start_slot : cut.end_slot] == 0.0).all()
+        assert matrix[row[0], cut.start_slot - 1] == 1.0
+
+
+class TestSplice:
+    def test_splice_rewrites_only_future_slots(self):
+        plan = OfflinePlan.from_assignment(
+            {(0, "cfg", "dc1", "wan"): 5.0, (3, "cfg", "dc1", "wan"): 7.0}
+        )
+        plan.splice(2, {(3, "cfg", "dc2", "internet"): 4.0})
+        assert plan.entry(0, "cfg").buckets == {("dc1", "wan"): 5.0}
+        assert plan.entry(3, "cfg").buckets == {("dc2", "internet"): 4.0}
+
+    def test_splice_drops_stale_entries_without_replacement(self):
+        plan = OfflinePlan.from_assignment({(4, "cfg", "dc1", "wan"): 5.0})
+        plan.splice(2, {})
+        assert plan.entry(4, "cfg") is None
+
+    def test_splice_ignores_past_and_nonpositive_counts(self):
+        plan = OfflinePlan()
+        plan.splice(2, {(1, "cfg", "dc1", "wan"): 5.0, (3, "cfg", "dc1", "wan"): 0.0})
+        assert plan.entry(1, "cfg") is None
+        assert plan.entry(3, "cfg") is None
+
+
+class TestQuotaOverflow:
+    class _Table:
+        def __init__(self, start_slot, configs, config_idx):
+            self.start_slot = np.asarray(start_slot)
+            self.configs = configs
+            self.config_idx = np.asarray(config_idx)
+
+        def __len__(self):
+            return len(self.config_idx)
+
+    def test_counts_overdraft_per_slot_and_config(self):
+        plan = OfflinePlan.from_assignment(
+            {(0, "a", "dc", "wan"): 2.0, (1, "a", "dc", "wan"): 10.0}
+        )
+        # Slot 0: three "a" calls against quota 2 -> overflow 1.
+        # Slot 1: one call against quota 10 -> no overflow.
+        # Slot 2: one "b" call with no entry at all -> overflow 1.
+        table = self._Table([0, 0, 0, 1, 2], ["a", "b"], [0, 0, 0, 0, 1])
+        assert quota_overflow(plan, table, slots_per_day=48, reduce_configs=False) == 2.0
+
+    def test_no_overflow_when_plan_covers_demand(self):
+        plan = OfflinePlan.from_assignment({(0, "a", "dc", "wan"): 5.0})
+        table = self._Table([0, 0], ["a"], [0, 0])
+        assert quota_overflow(plan, table, slots_per_day=48, reduce_configs=False) == 0.0
+
+
+class TestCampaignDay:
+    def test_baseline_day_is_clean(self, baseline_run):
+        assert baseline_run.infeasible_rounds == 0
+        assert baseline_run.replanned_rounds == len(baseline_run.replan_events)
+        assert baseline_run.stats.calls > 0
+        assert baseline_run.evaluation is not None
+        # Poisson noise around λ-sized quotas leaves a small overdraft
+        # even on an unstressed day; it must stay small.
+        assert baseline_run.overflow_rate < 0.1
+
+    def test_fiber_cut_day_replans_and_completes(self, small_setup, scenarios, baseline_run):
+        result = run_campaign_day(small_setup, scenarios["fiber-cut"], day=DAY)
+        assert result.infeasible_rounds == 0
+        assert result.stats.calls == baseline_run.stats.calls  # demand untouched
+        # Shifting Internet load back to the WAN costs peak bandwidth.
+        assert result.evaluation.sum_of_peaks_gbps > baseline_run.evaluation.sum_of_peaks_gbps
+        assert result.evaluation.internet_share < baseline_run.evaluation.internet_share
+
+    def test_infeasible_round_degrades_gracefully(self, small_setup, scenarios, baseline_run):
+        """The acceptance scenario: a 12× flash crowd lands mid-day, the
+        replan round goes infeasible, the stale plan is kept, the surge
+        overflow is accounted, and scoring still completes."""
+        result = run_campaign_day(small_setup, scenarios["flash-crowd-surge"], day=DAY)
+        assert result.infeasible_rounds >= 1
+        assert result.stats.calls > baseline_run.stats.calls
+        assert result.overflow_calls > 5 * baseline_run.overflow_calls
+        assert result.overflow_rate > 0.2
+        assert result.evaluation is not None
+        assert any(not event.solved for event in result.replan_events)
+
+    def test_campaign_family_is_complete(self, scenarios):
+        assert set(scenarios) == {
+            "fiber-cut",
+            "dc-outage",
+            "flash-crowd",
+            "flash-crowd-surge",
+            "holiday",
+            "demand-shock",
+        }
+
+    def test_ground_truth_ignores_visibility(self, small_setup, raw_configs):
+        # The world applies events the planner has not seen yet.
+        timeline = StressTimeline((FlashCrowdEvent("DE", 40, 48, multiplier=5.0),))
+        truth = timeline.demand_multipliers(raw_configs, SLOTS, visible_from=None)
+        assert truth.max() == 5.0
