@@ -14,24 +14,48 @@ pool, next day's plan solving while the pool replays the previous day —
 must beat the phase-alternating serial planning loop by at least 1.5x
 at the same 4 workers.
 
+The ISSUE-8 tentpole attacks the fan-out's *memory channel*: at
+millions of calls per day the process backend spends its time pickling
+— the setup to every worker, every day's full tables back.  The
+``process+shm`` backend maps worker state zero-copy out of one shared
+segment and ships compact ``DaySummary`` results, and must beat plain
+``process`` by at least 1.3x at the same 4 workers while cutting the
+per-day IPC payload by at least 10x.
+
 Needs real CPUs: the pins are skipped when fewer than 4 are available
 to this process (the nightly CI runners have them; a 1-core sandbox
-cannot physically speed anything up).
+cannot physically speed anything up).  The IPC-reduction half of the
+ISSUE-8 pin is core-count independent and always runs.
 """
 
+import pickle
+import resource
 import time
 
 import numpy as np
 import pytest
 
-from repro.core.sweep import SweepRunner, available_workers
+from repro.core.shm import ShmArena
+from repro.core.sweep import (
+    SummaryDayResult,
+    SweepRunner,
+    available_workers,
+    summarize_day_result,
+)
 from repro.core.titan_next import build_europe_setup, run_prediction_sweep
 
 pytestmark = pytest.mark.slow
 
 REQUIRED_SWEEP_SPEEDUP = 2.0
 REQUIRED_PLANNER_SPEEDUP = 1.5
+REQUIRED_SHM_SPEEDUP = 1.3
+REQUIRED_IPC_REDUCTION = 10.0
 WORKERS = 4
+
+
+def peak_rss_mb() -> float:
+    """This process's lifetime peak resident set (ru_maxrss is KiB on Linux)."""
+    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1)
 #: Wed..Fri next week, 10 days: enough per-day replay work to amortize
 #: pool spawn and keep the serial planning loop a small Amdahl slice.
 DAYS = list(range(30, 40))
@@ -187,6 +211,116 @@ def test_decomposed_planning_matches_and_stays_bounded(planning_heavy_setup, rec
         overhead_ratio=round(t_dec / t_mono, 3),
     )
     assert t_dec < t_mono * 4.0
+
+
+@pytest.mark.skipif(
+    available_workers() < WORKERS,
+    reason=f"speedup pin needs >= {WORKERS} CPUs available to this process",
+)
+def test_shm_sweep_is_1_3x_faster_than_process(record_bench):
+    """The ISSUE-8 wall-clock pin: ``process+shm`` vs plain ``process``.
+
+    At a million calls per day the plain process backend is dominated
+    by serialization — the setup pickled into every worker and every
+    day's full ``CallTable``/``AssignmentBatch`` columns pickled back.
+    Mapping state from one shared segment and shipping distinct-row
+    summaries must win end to end, and byte-identically (checked via
+    the reconstruction path before the clock is read)."""
+    setup = build_europe_setup(daily_calls=1_000_000, top_n_configs=60)
+    days = DAYS[:6]
+
+    start = time.perf_counter()
+    plain = run_prediction_sweep(setup, days, workers=WORKERS)
+    t_plain = time.perf_counter() - start
+
+    start = time.perf_counter()
+    shm = run_prediction_sweep(setup, days, workers=WORKERS, shared_memory=True)
+    t_shm = time.perf_counter() - start
+
+    # Byte-identical results first — a fast wrong answer pins nothing.
+    for day in days:
+        assert shm[day].stats == plain[day].stats
+        assert shm[day].realized_table() == plain[day].realized_table()
+
+    # IPC accounting: bytes pickled through pipes per swept day.  Plain
+    # process ships the whole setup down and full per-day results up;
+    # shm ships only the in-band remainder down (large arrays live in
+    # the segment) and DaySummary rows up.
+    runner = SweepRunner(setup, workers=WORKERS, shared_memory=True)
+    arena = ShmArena(runner._shm_state_payload())
+    try:
+        shm_state_bytes = len(arena.payload().pickled)
+    finally:
+        arena.dispose()
+    plain_state_bytes = len(pickle.dumps(setup, protocol=pickle.HIGHEST_PROTOCOL))
+    result_bytes_plain = np.mean(
+        [len(pickle.dumps(plain[d], protocol=pickle.HIGHEST_PROTOCOL)) for d in days]
+    )
+    result_bytes_shm = np.mean(
+        [len(pickle.dumps(shm[d].summary, protocol=pickle.HIGHEST_PROTOCOL)) for d in days]
+    )
+    ipc_plain = plain_state_bytes / len(days) + float(result_bytes_plain)
+    ipc_shm = shm_state_bytes / len(days) + float(result_bytes_shm)
+    reduction = ipc_plain / ipc_shm
+
+    speedup = t_plain / t_shm
+    print(
+        f"\nshm sweep over {len(days)} days at 1M calls/day: process "
+        f"{t_plain:.2f} s, process+shm {t_shm:.2f} s -> {speedup:.2f}x; "
+        f"IPC {ipc_plain / 1e6:.1f} MB/day -> {ipc_shm / 1e6:.3f} MB/day "
+        f"({reduction:.0f}x); peak RSS {peak_rss_mb()} MB"
+    )
+    record_bench(
+        days=len(days),
+        workers=WORKERS,
+        t_process_s=round(t_plain, 3),
+        t_shm_s=round(t_shm, 3),
+        speedup=round(speedup, 3),
+        required_speedup=REQUIRED_SHM_SPEEDUP,
+        ipc_bytes_per_day=int(ipc_shm),
+        ipc_bytes_per_day_process=int(ipc_plain),
+        ipc_reduction=round(reduction, 1),
+        peak_rss_mb=peak_rss_mb(),
+    )
+    assert speedup >= REQUIRED_SHM_SPEEDUP
+    assert reduction >= REQUIRED_IPC_REDUCTION
+
+
+def test_compact_summary_ipc_reduction(sweep_setup, record_bench):
+    """Core-count-independent half of the ISSUE-8 pin.
+
+    The worker→parent result channel: a ``DaySummary`` (distinct
+    realized rows + stats) must pickle at least 10x smaller than the
+    full ``PredictionDayResult`` it summarizes — measured on the same
+    day, and checked equivalent before the size pin."""
+    day = DAYS[0]
+    full = run_prediction_sweep(sweep_setup, [day], workers=1)[day]
+    summary = summarize_day_result(sweep_setup.scenario, full, day, 71, True)
+
+    full_bytes = len(pickle.dumps(full, protocol=pickle.HIGHEST_PROTOCOL))
+    compact_bytes = len(pickle.dumps(summary, protocol=pickle.HIGHEST_PROTOCOL))
+    reduction = full_bytes / compact_bytes
+
+    # The summary must still answer the realized table bit-for-bit.
+    runner = SweepRunner(sweep_setup, workers=1)
+    wrapped = SummaryDayResult(summary, runner._state, runner._canonical_configs())
+    assert wrapped.realized_table() == full.realized_table()
+    assert wrapped.stats == full.stats
+
+    print(
+        f"\ncompact summary: full result {full_bytes / 1e6:.2f} MB, "
+        f"summary {compact_bytes / 1e3:.1f} kB -> {reduction:.0f}x smaller; "
+        f"peak RSS {peak_rss_mb()} MB"
+    )
+    record_bench(
+        calls=int(full.stats.calls),
+        full_result_bytes=full_bytes,
+        ipc_bytes_per_day=compact_bytes,
+        ipc_reduction=round(reduction, 1),
+        required_reduction=REQUIRED_IPC_REDUCTION,
+        peak_rss_mb=peak_rss_mb(),
+    )
+    assert reduction >= REQUIRED_IPC_REDUCTION
 
 
 def test_parallel_sweep_reproduces_serial_results(sweep_setup):

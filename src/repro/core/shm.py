@@ -1,0 +1,217 @@
+"""Shared-memory arena: zero-copy worker state for the sweep engine.
+
+The process-backend sweep ships its :class:`~repro.core.titan_next.EuropeSetup`
+to every worker as one pickle and ships every per-day result back the
+same way — at ``daily_calls`` in the millions both channels are
+dominated by dense numpy arrays (interned ``CallTable`` /
+``ConfigUniverse`` columns, ``Scenario.eval_tables`` coefficient blocks,
+the ``link_incidence_csr`` incidence, LP coefficient blocks from
+``LpArtifacts``) that every worker reads but none mutates.  This module
+moves those arrays into one named ``multiprocessing.shared_memory``
+segment so workers *map* them instead of rebuilding them from a pickle.
+
+The mechanism is pickle protocol 5's out-of-band buffers:
+
+* :class:`ShmArena` pickles an arbitrary object graph with a
+  ``buffer_callback`` that diverts every contiguous buffer above
+  :data:`INBAND_THRESHOLD` bytes into a single shared segment (small
+  buffers stay in the pickle stream — a 64-byte Philox key is cheaper
+  in-band than page-aligned in a segment);
+* the picklable :class:`ShmPayload` carries the segment name, the
+  (offset, length) span of every diverted buffer, and the remaining
+  pickle bytes;
+* :func:`map_payload` (worker side) attaches the segment and runs
+  ``pickle.loads`` with **read-only** views over the spans, so every
+  large array comes back as a zero-copy ``np.ndarray`` view of shared
+  pages — and any accidental in-place write raises instead of
+  corrupting sibling workers.
+
+**Lifecycle.** The creating process owns the segment: ``dispose()`` (or
+the arena's garbage collection, or interpreter exit — all three route
+through one idempotent ``weakref.finalize``) closes and unlinks it
+exactly once.  Workers attach *untracked*: Python 3.11's
+``SharedMemory`` has no ``track=False`` knob, and letting each worker's
+``resource_tracker`` adopt the segment would either double-unlink it
+(spawn children own private trackers that "clean up" at worker exit) or
+corrupt the shared tracker's bookkeeping (fork children share the
+parent's), so :func:`attach_segment` suppresses the registration for
+the duration of the attach.  A pool rebuild after a crashed worker
+therefore *re-maps* the same segment — never re-allocates — and a
+killed worker leaves nothing behind: the mapping dies with the process.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import secrets
+import weakref
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from multiprocessing import resource_tracker, shared_memory
+
+#: Buffers below this many bytes stay in the pickle stream: the span
+#: bookkeeping plus page-aligned placement costs more than rebuilding a
+#: tiny array, and in-band copies stay privately writable.
+INBAND_THRESHOLD = 1024
+
+#: Alignment of each buffer inside the segment (cache-line friendly).
+_ALIGN = 64
+
+#: ``/dev/shm`` name prefix for every arena segment — what the no-leak
+#: assertions scan for.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Parent-side bookkeeping: segment name -> its disposal finalizer.
+#: ``finalize.alive`` is the live/disposed bit, so a segment can never
+#: be unlinked twice and tests can assert nothing outlives a sweep.
+_FINALIZERS: Dict[str, weakref.finalize] = {}
+
+
+def live_segment_names() -> List[str]:
+    """Names of arena segments this process created and not yet disposed."""
+    return sorted(name for name, fin in _FINALIZERS.items() if fin.alive)
+
+
+def _release_segment(segment: shared_memory.SharedMemory, owner_pid: int) -> None:
+    """Close and unlink an owned segment (finalizer target, runs once).
+
+    The pid guard makes the finalizer a no-op in forked children, which
+    inherit the arena object (and would otherwise unlink the segment
+    out from under the parent if one ever ran interpreter shutdown).
+    """
+    if os.getpid() != owner_pid:
+        return
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - exported views still alive
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - externally removed
+        pass
+
+
+@dataclass(frozen=True)
+class ShmPayload:
+    """Picklable handle to an arena: everything a worker needs to map it.
+
+    ``spans`` lists the (offset, length) of each out-of-band buffer in
+    the order ``pickle`` requested them; ``pickled`` is the protocol-5
+    stream whose buffer slots those spans fill.
+    """
+
+    name: str
+    spans: Tuple[Tuple[int, int], ...]
+    pickled: bytes
+    segment_bytes: int
+
+    @property
+    def shared_bytes(self) -> int:
+        """Bytes served from the segment rather than the pickle stream."""
+        return sum(length for _, length in self.spans)
+
+
+class ShmArena:
+    """One shared-memory segment backing an object graph's large arrays.
+
+    Created parent-side around the worker-state payload; :meth:`payload`
+    is what travels to the pool initializer.  The arena must outlive
+    every pool that maps it — :class:`~repro.core.sweep._PoolHandle`
+    owns it for exactly that scope — and :meth:`dispose` is idempotent,
+    so the chaos paths (pool rebuilds, error unwinds, double shutdowns)
+    can all call it without coordination.
+    """
+
+    def __init__(self, obj, inband_threshold: int = INBAND_THRESHOLD) -> None:
+        buffers: List[memoryview] = []
+
+        def divert(buffer: pickle.PickleBuffer):
+            raw = buffer.raw()
+            if raw.nbytes < inband_threshold:
+                return True  # keep tiny buffers in the pickle stream
+            buffers.append(raw)
+            return False
+
+        pickled = pickle.dumps(obj, protocol=5, buffer_callback=divert)
+        spans: List[Tuple[int, int]] = []
+        cursor = 0
+        for raw in buffers:
+            cursor = -(-cursor // _ALIGN) * _ALIGN
+            spans.append((cursor, raw.nbytes))
+            cursor += raw.nbytes
+
+        self.name = SEGMENT_PREFIX + secrets.token_hex(8)
+        self._segment = shared_memory.SharedMemory(
+            name=self.name, create=True, size=max(cursor, 1)
+        )
+        view = self._segment.buf
+        for (offset, length), raw in zip(spans, buffers):
+            view[offset : offset + length] = raw
+        self._payload = ShmPayload(self.name, tuple(spans), pickled, self._segment.size)
+        self._finalizer = weakref.finalize(self, _release_segment, self._segment, os.getpid())
+        _FINALIZERS[self.name] = self._finalizer
+
+    @property
+    def alive(self) -> bool:
+        return self._finalizer.alive
+
+    def payload(self) -> ShmPayload:
+        if not self.alive:
+            raise RuntimeError(f"shm arena {self.name} is already disposed")
+        return self._payload
+
+    def dispose(self) -> None:
+        """Unlink the segment exactly once; later calls are no-ops."""
+        self._finalizer()
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption.
+
+    See the module docstring: tracker adoption by workers is wrong under
+    both fork (shared tracker — a worker-side unregister would erase the
+    parent's registration) and spawn (private tracker — it would unlink
+    the live segment when the worker exits).  ``SharedMemory`` calls
+    ``resource_tracker.register`` through the module attribute, so the
+    suppression is a scoped rebind of that attribute.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def map_payload(payload: ShmPayload) -> Tuple[object, shared_memory.SharedMemory]:
+    """Rebuild a payload's object graph over the shared segment.
+
+    Returns ``(object, attachment)``.  The attachment must stay
+    referenced for as long as the object is used — the arrays are views
+    into its mapping — so callers stash it next to the object (the pool
+    initializer keeps it on the worker state).  Views are read-only:
+    a worker that tries to mutate shared state gets a ``ValueError``
+    instead of silently corrupting its siblings.
+    """
+    attachment = attach_segment(payload.name)
+    base = attachment.buf
+    views = [
+        base[offset : offset + length].toreadonly() for offset, length in payload.spans
+    ]
+    obj = pickle.loads(payload.pickled, buffers=views)
+    return obj, attachment
+
+
+def _dispose_all() -> None:  # pragma: no cover - interpreter teardown
+    for fin in list(_FINALIZERS.values()):
+        fin()
+
+
+# weakref.finalize already hooks interpreter exit per finalizer; this
+# explicit pass additionally survives finalizer-object leaks via the
+# module dict and keeps teardown order deterministic (before the
+# resource tracker's own leak sweep, which would warn).
+atexit.register(_dispose_all)

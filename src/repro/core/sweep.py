@@ -56,6 +56,31 @@ results through a supervision loop governed by :class:`FaultPolicy`:
 before every pooled task — the deterministic chaos hook the recovery
 tests drive.  The inline ``workers=1`` path never injects and never
 retries: it *is* the reference the recovered runs are compared to.
+
+**Shared memory.** ``backend="process+shm"`` (or ``shared_memory=True``)
+replaces both pickle channels with their scale-proof counterparts:
+
+* *zero-copy worker state* — the pool payload becomes a
+  :class:`~repro.core.shm.ShmArena` holding every large array of the
+  setup (plus the pre-warmed ``Scenario.eval_tables`` coefficient
+  blocks and the ``link_incidence_csr``) in one named shared-memory
+  segment; the pool initializer maps read-only ``np.ndarray`` views
+  instead of rebuilding the setup from a pickle, and a
+  :class:`FaultPolicy` pool rebuild re-maps the same segment rather
+  than re-allocating it;
+* *compact day summaries* — per-day replay tasks return a SoA
+  :class:`DaySummary` (realized-table rows + ``ControllerStats`` +
+  the optional in-pool ``EvaluationResult``) instead of the full
+  ``CallTable``/``AssignmentBatch``; the parent wraps each in a
+  :class:`SummaryDayResult`, which reconstructs the full tables on
+  demand by re-running the day (exact by the Philox counter-keying
+  contract).  ``return_tables=True`` keeps today's full-result
+  behaviour and stays the pinned byte-equivalence reference;
+* *streaming sweeps* — :meth:`SweepRunner.iter_days` / ``chunk_days=``
+  plan and replay a long window chunk by chunk over one pool and one
+  full-window planning structure, so a 52-week sweep holds O(chunk)
+  day results in memory while reproducing the monolithic run byte for
+  byte (one hot-start chain, in day order, across chunks).
 """
 
 from __future__ import annotations
@@ -68,12 +93,17 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolEx
 from concurrent.futures import TimeoutError as FutureTimeout
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..workload.configs import CallConfig
+from ..workload.demand import SLOTS_PER_DAY
 from ..workload.traces import TraceGenerator
 from .lp import AssignmentTable, JointLpOptions
 from .planner import PlanBackend, PlannerSpec, resolve_planner, slot_support_keys
+from .scenario import EVAL_OPTION_ORDER
+from .shm import ShmArena, ShmPayload, map_payload
 
 #: Demand/forecast table: ``(slot of day, config) -> call count``.
 DemandTable = Dict[Tuple[int, CallConfig], float]
@@ -246,6 +276,10 @@ class _WorkerState:
         self.setup = setup
         self._generators: Dict[int, TraceGenerator] = {}
         self._slot_planners: Dict[Tuple, object] = {}
+        #: The shared-memory attachment whose pages back this worker's
+        #: mapped arrays (``process+shm`` backend); pinned here so the
+        #: mapping outlives every view for the life of the worker.
+        self.attachment = None
 
     def trace_generator(self, seed: int) -> TraceGenerator:
         generator = self._generators.get(seed)
@@ -280,15 +314,31 @@ class _WorkerState:
 _WORKER_STATE: Optional[_WorkerState] = None
 
 
-def _init_worker(payload: bytes) -> None:
-    """Pool initializer: build this worker's setup from the pickle.
+def _init_worker(payload) -> None:
+    """Pool initializer: build this worker's setup from the payload.
 
-    Run once per worker process.  Unpickling (rather than inheriting a
-    forked reference) guarantees the worker owns fresh ``Scenario``
-    caches regardless of the multiprocessing start method.
+    Run once per worker process.  ``payload`` is either the pickled
+    setup bytes (classic ``process`` backend — unpickling rather than
+    inheriting a forked reference guarantees the worker owns fresh
+    ``Scenario`` caches regardless of the multiprocessing start method)
+    or a :class:`~repro.core.shm.ShmPayload` (``process+shm``), in
+    which case every large array comes back as a read-only zero-copy
+    view of the shared segment, the parent's pre-warmed evaluation
+    tables and link CSR are installed on the worker's scenario (they
+    travel in the same pickle graph as the setup, so their config
+    identities match the worker's universe and the id-keyed cache
+    lookup stays valid), and the segment attachment is pinned on the
+    worker state so the mapping outlives the views.
     """
     global _WORKER_STATE
-    _WORKER_STATE = _WorkerState(pickle.loads(payload))
+    if isinstance(payload, ShmPayload):
+        (setup, warm_tables, link_csr), attachment = map_payload(payload)
+        setup.scenario.install_eval_tables(warm_tables)
+        setup.scenario.install_link_csr(*link_csr)
+        _WORKER_STATE = _WorkerState(setup)
+        _WORKER_STATE.attachment = attachment
+    else:
+        _WORKER_STATE = _WorkerState(pickle.loads(payload))
 
 
 def _state_or_worker(state: Optional[_WorkerState]) -> _WorkerState:
@@ -311,13 +361,17 @@ def _replay_day_task(task, state: Optional[_WorkerState] = None):
     """Replay one §8 day: synthesize the trace once, run each policy.
 
     ``task`` is ``(day, plan_assignment, policies, seed, reduced,
-    evaluate)``; returns ``(day, {policy: PredictionDayResult})``,
-    identical to what :func:`~repro.core.titan_next.run_prediction_day`
-    produces for the same day and seed.
+    evaluate, compact)``; returns ``(day, {policy: result})`` where each
+    result is a full ``PredictionDayResult`` — identical to what
+    :func:`~repro.core.titan_next.run_prediction_day` produces for the
+    same day and seed — or, with ``compact``, a :class:`DaySummary`
+    holding only the realized-table rows, stats, and (optional) score:
+    the worker→parent payload drops from the full ``CallTable`` /
+    ``AssignmentBatch`` columns to a few distinct-row arrays.
     """
     from .titan_next import _prediction_day_result
 
-    day, plan_assignment, policies, seed, reduced, evaluate = task
+    day, plan_assignment, policies, seed, reduced, evaluate, compact = task
     worker = _state_or_worker(state)
     table = worker.trace_generator(seed).table_for_day(day)
     results = {}
@@ -325,9 +379,14 @@ def _replay_day_task(task, state: Optional[_WorkerState] = None):
         result = _prediction_day_result(
             worker.setup, name, table, seed, reduced, plan_assignment=plan_assignment
         )
-        if evaluate:
-            result.evaluation = result.evaluate(worker.setup.scenario)
-        results[name] = result
+        if compact:
+            results[name] = summarize_day_result(
+                worker.setup.scenario, result, day, seed, reduced, evaluate=evaluate
+            )
+        else:
+            if evaluate:
+                result.evaluation = result.evaluate(worker.setup.scenario)
+            results[name] = result
     return day, results
 
 
@@ -390,6 +449,173 @@ def _guarded_task(payload, state: Optional[_WorkerState] = None):
 
 
 # ---------------------------------------------------------------------------
+# Compact day summaries (the process+shm result channel)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DaySummary:
+    """Structure-of-arrays summary of one (day, policy) replay.
+
+    The compact worker→parent result: instead of the day's full
+    ``CallTable`` / ``AssignmentBatch`` columns (one row per call), it
+    carries the *distinct* realized assignment rows — exactly the
+    ``(slot, config, dc, option, count)`` arrays
+    :func:`~repro.analysis.metrics._rows_from_batch` produces, DC and
+    option indices in scenario/:data:`EVAL_OPTION_ORDER` order — plus
+    the ``ControllerStats`` and the optional in-pool
+    ``EvaluationResult``.  Everything §7.1 scoring and the realized
+    table need is derivable from these rows bit-for-bit; the full
+    per-call batch remains reconstructable on demand because replay is
+    a pure function of ``(setup, day, seed)`` (the Philox
+    counter-keying contract) — see :class:`SummaryDayResult`.
+
+    ``row_cfg`` indexes the canonical config universe
+    (``universe.top(top_n_configs)`` order — the ``CallTable.configs``
+    tuple); the configs themselves are deliberately *not* shipped,
+    since the parent holds an equal universe.
+    """
+
+    policy: str
+    day: int
+    seed: int
+    reduced: bool
+    slots_per_day: int
+    row_slot: np.ndarray
+    row_cfg: np.ndarray
+    row_dc: np.ndarray
+    row_opt: np.ndarray
+    row_count: np.ndarray
+    dc_codes: Tuple[str, ...]
+    stats: object
+    evaluation: Optional[object] = None
+
+
+def summarize_day_result(
+    scenario, result, day: int, seed: int, reduced: bool, evaluate: bool = False
+) -> DaySummary:
+    """Collapse one ``PredictionDayResult`` into a :class:`DaySummary`.
+
+    Runs worker-side.  The distinct-row group-by is computed once and
+    shared between the summary and (with ``evaluate``) the §7.1 score,
+    so the in-pool evaluation is byte-identical to the full path's
+    ``result.evaluate(scenario)`` — same rows, same
+    ``_evaluate_rows`` accumulation order.
+    """
+    from ..analysis.metrics import _evaluate_rows, _rows_from_batch
+
+    configs, slot, cfg, dc, opt, counts = _rows_from_batch(
+        scenario, result.assignments, SLOTS_PER_DAY
+    )
+    evaluation = None
+    if evaluate:
+        evaluation = _evaluate_rows(
+            scenario, configs, slot, cfg, dc, opt, counts, policy_name=result.policy
+        )
+    return DaySummary(
+        policy=result.policy,
+        day=day,
+        seed=seed,
+        reduced=reduced,
+        slots_per_day=SLOTS_PER_DAY,
+        row_slot=slot,
+        row_cfg=cfg,
+        row_dc=dc,
+        row_opt=opt,
+        row_count=counts,
+        dc_codes=tuple(scenario.dc_codes),
+        stats=result.stats,
+        evaluation=evaluation,
+    )
+
+
+class SummaryDayResult:
+    """Parent-side view of a :class:`DaySummary` with the
+    ``PredictionDayResult`` surface.
+
+    ``realized_table`` and ``evaluate`` are answered straight from the
+    summary's distinct-row arrays (byte-identical to the full result's
+    answers); ``assignments`` — the full per-call batch — is
+    reconstructed lazily by re-running the day from the parent's own
+    state, exact by the Philox counter-keying contract.  A scenario or
+    slot fold other than the one the summary was computed against
+    falls back to the reconstruction, so ablation-style re-scoring can
+    never silently reuse stale rows.
+    """
+
+    def __init__(self, summary: DaySummary, state: _WorkerState, configs, plan_assignment=None):
+        self.summary = summary
+        self._state = state
+        self._configs = tuple(configs)
+        self._plan_assignment = plan_assignment
+        self._full = None
+        #: Mirrors ``PredictionDayResult.evaluation`` (the in-pool score).
+        self.evaluation = summary.evaluation
+
+    @property
+    def policy(self) -> str:
+        return self.summary.policy
+
+    @property
+    def stats(self):
+        return self.summary.stats
+
+    @property
+    def assignments(self):
+        return self.full_result().assignments
+
+    def full_result(self):
+        """The reconstructed full ``PredictionDayResult`` (cached)."""
+        if self._full is None:
+            from .titan_next import _prediction_day_result
+
+            s = self.summary
+            table = self._state.trace_generator(s.seed).table_for_day(s.day)
+            self._full = _prediction_day_result(
+                self._state.setup,
+                s.policy,
+                table,
+                s.seed,
+                s.reduced,
+                plan_assignment=self._plan_assignment,
+            )
+            self._full.evaluation = self.evaluation
+        return self._full
+
+    def realized_table(self, slots_per_day: int = SLOTS_PER_DAY) -> AssignmentTable:
+        s = self.summary
+        if slots_per_day != s.slots_per_day:
+            return self.full_result().realized_table(slots_per_day)
+        table: AssignmentTable = {}
+        for t, ci, di, oi, n in zip(s.row_slot, s.row_cfg, s.row_dc, s.row_opt, s.row_count):
+            key = (
+                int(t),
+                self._configs[int(ci)],
+                s.dc_codes[int(di)],
+                EVAL_OPTION_ORDER[int(oi)],
+            )
+            table[key] = float(n)
+        return table
+
+    def evaluate(self, scenario, slots_per_day: int = SLOTS_PER_DAY):
+        s = self.summary
+        if scenario is not self._state.setup.scenario or slots_per_day != s.slots_per_day:
+            return self.full_result().evaluate(scenario, slots_per_day)
+        from ..analysis.metrics import _evaluate_rows
+
+        return _evaluate_rows(
+            scenario,
+            self._configs,
+            s.row_slot,
+            s.row_cfg,
+            s.row_dc,
+            s.row_opt,
+            s.row_count,
+            policy_name=s.policy,
+        )
+
+
+# ---------------------------------------------------------------------------
 # The runner
 # ---------------------------------------------------------------------------
 
@@ -398,16 +624,29 @@ class _PoolHandle:
     """A rebuildable executor: what :meth:`SweepRunner.worker_pool` yields.
 
     Owns the live executor plus everything needed to respawn it (the
-    pickled setup payload for process pools), so the supervision loop
-    can kill a broken/hung pool and carry on with the same handle.
-    Callers treat it as an executor — ``submit`` is the whole surface.
+    pickled setup payload for process pools; the shared-memory arena
+    for ``process+shm``), so the supervision loop can kill a
+    broken/hung pool and carry on with the same handle.  A rebuild
+    re-submits the *same* payload — for the shm backend that means the
+    respawned workers re-map the existing segment; the arena is never
+    re-allocated, and it is disposed exactly once, by :meth:`shutdown`
+    (idempotent), after the last pool that maps it is gone.  Callers
+    treat the handle as an executor — ``submit`` is the whole surface.
     """
 
-    def __init__(self, backend: str, workers: int, mp_context, payload: Optional[bytes]) -> None:
+    def __init__(
+        self,
+        backend: str,
+        workers: int,
+        mp_context,
+        payload,
+        arena: Optional[ShmArena] = None,
+    ) -> None:
         self.backend = backend
         self.workers = workers
         self.mp_context = mp_context
         self._payload = payload
+        self.arena = arena
         self.rebuilds = 0
         self._pool = self._spawn()
 
@@ -453,6 +692,11 @@ class _PoolHandle:
     def shutdown(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
+        if self.arena is not None:
+            # After the workers are gone; dispose() is idempotent, so a
+            # double shutdown (or an error-path unwind that already
+            # disposed) cannot double-unlink the segment.
+            self.arena.dispose()
 
 
 class SweepRunner:
@@ -484,6 +728,18 @@ class SweepRunner:
     raise :class:`SweepError`.  Because per-day tasks are pure
     functions of their tuples, a sweep that survives a killed or hung
     worker still reproduces the serial reference byte for byte.
+
+    ``shared_memory=True`` (equivalently ``backend="process+shm"``)
+    ships worker state through a :class:`~repro.core.shm.ShmArena`
+    instead of per-worker pickles: workers map the setup's dense
+    arrays read-only and zero-copy.  Under that backend, per-day
+    results default to compact :class:`DaySummary` payloads wrapped in
+    :class:`SummaryDayResult` — ``return_tables=True`` restores full
+    ``PredictionDayResult`` shipping (the pinned byte-equivalence
+    reference), ``return_tables=False`` forces summaries on any
+    backend.  ``chunk_days`` bounds how many days are planned, in
+    flight, and held in memory at once (see :meth:`iter_days`) without
+    changing any result byte.
     """
 
     def __init__(
@@ -495,16 +751,36 @@ class SweepRunner:
         planner=None,
         fault_policy: Optional[FaultPolicy] = None,
         inject_fault: Optional[Callable] = None,
+        shared_memory: Optional[bool] = None,
+        return_tables: Optional[bool] = None,
+        chunk_days: Optional[int] = None,
     ) -> None:
         self.setup = setup
         self.workers = _resolve_workers(workers)
         if backend is None:
             backend = "process" if self.workers > 1 else "serial"
-        if backend not in ("serial", "thread", "process"):
+        if shared_memory:
+            if backend in ("process", "process+shm"):
+                backend = "process+shm"
+            elif not (backend == "serial" and self.workers == 1):
+                # A single worker degrades to the serial reference path
+                # (nothing to share); an explicit thread backend is a
+                # contradiction worth refusing.
+                raise ValueError("shared_memory=True requires the process backend")
+        if backend not in ("serial", "thread", "process", "process+shm"):
             raise ValueError(f"unknown sweep backend {backend!r}")
         if self.workers == 1:
             backend = "serial"
+        if chunk_days is not None and chunk_days < 1:
+            raise ValueError("chunk_days must be >= 1 (or None)")
         self.backend = backend
+        #: ``None`` defers to the backend default (summaries only under
+        #: ``process+shm``); ``True``/``False`` forces full results /
+        #: compact summaries everywhere.
+        self.return_tables = return_tables
+        #: Default streaming chunk for :meth:`iter_days` and the
+        #: ``run_*`` windows; ``None`` = monolithic.
+        self.chunk_days = chunk_days
         self.mp_context = mp_context
         self.planner: PlannerSpec = resolve_planner(planner)
         #: Supervision knobs for pooled phases; the serial path ignores
@@ -519,6 +795,7 @@ class SweepRunner:
         # Inline/thread execution state: shares the caller's setup, so
         # serial sweeps also reuse one TraceGenerator across days.
         self._state = _WorkerState(setup)
+        self._configs_cache: Optional[Tuple[CallConfig, ...]] = None
 
     # -- pool plumbing -----------------------------------------------------
 
@@ -537,12 +814,69 @@ class SweepRunner:
             yield None
             return
         workers = min(self.workers, tasks_hint)
-        payload = pickle.dumps(self.setup) if self.backend == "process" else None
-        handle = _PoolHandle(self.backend, workers, self.mp_context, payload)
+        arena = None
+        payload = None
+        if self.backend == "process+shm":
+            arena = ShmArena(self._shm_state_payload())
+            payload = arena.payload()
+        elif self.backend == "process":
+            payload = pickle.dumps(self.setup, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            handle = _PoolHandle(self.backend, workers, self.mp_context, payload, arena=arena)
+        except BaseException:
+            if arena is not None:
+                arena.dispose()
+            raise
         try:
             yield handle
         finally:
             handle.shutdown()
+
+    def _shm_state_payload(self):
+        """The object graph an shm pool ships: setup + warmed caches.
+
+        The pre-built :class:`ScenarioEvalTables` for the canonical
+        config universe and the link-incidence CSR ride in the *same*
+        pickle graph as the setup — ``Scenario.__getstate__`` drops
+        both from the scenario itself (its cache is id-keyed), but
+        shipping them alongside preserves object identity through one
+        ``pickle.loads``: the warm tables' config tuple arrives as the
+        very objects of the worker's universe, so re-installing them
+        under their new ids is valid and the worker never rebuilds the
+        coefficient blocks.
+        """
+        configs = self._canonical_configs()
+        warm_tables = self.setup.scenario.eval_tables(configs)
+        link_csr = self.setup.scenario.link_incidence_csr()
+        return (self.setup, warm_tables, link_csr)
+
+    def _canonical_configs(self) -> Tuple[CallConfig, ...]:
+        """The interned config universe (``CallTable.configs`` order)."""
+        if self._configs_cache is None:
+            self._configs_cache = tuple(
+                item.config for item in self.setup.universe.top(self.setup.top_n_configs)
+            )
+        return self._configs_cache
+
+    def _compact(self, return_tables: Optional[bool] = None) -> bool:
+        """Resolve whether replay results travel as summaries."""
+        choice = return_tables if return_tables is not None else self.return_tables
+        if choice is None:
+            choice = self.backend != "process+shm"
+        return not choice
+
+    def _wrap_results(self, day: int, results: Dict, plans: Dict) -> Dict:
+        """Wrap a day's worker-side summaries for the caller."""
+        wrapped = {}
+        for name, value in results.items():
+            if isinstance(value, DaySummary):
+                plan = plans.get(day) if name == "titan-next" else None
+                wrapped[name] = SummaryDayResult(
+                    value, self._state, self._canonical_configs(), plan_assignment=plan
+                )
+            else:
+                wrapped[name] = value
+        return wrapped
 
     def map_days(self, fn: Callable, tasks: Sequence, pool=None) -> List:
         """Run ``fn`` over per-day tasks, in task order.
@@ -764,11 +1098,22 @@ class SweepRunner:
         backend, bound_for = self._plan_backend(predictions, lp_options, pool)
         plans: Dict[int, AssignmentTable] = {}
         for day, prediction in predictions.items():
-            solved = backend.solve_day(prediction, e2e_bound_ms=bound_for(day))
-            if not solved.is_optimal:
-                raise RuntimeError(f"Titan-Next planning LP failed for day {day}: {solved.status}")
-            plans[day] = solved.assignment
+            plans[day] = self._solve_plan(backend, bound_for, prediction, day)
         return plans
+
+    @staticmethod
+    def _solve_plan(
+        backend: PlanBackend,
+        bound_for: Callable[[int], float],
+        demand: DemandTable,
+        day: int,
+        label: str = "planning",
+    ) -> AssignmentTable:
+        """One day's plan through an already-built backend."""
+        solved = backend.solve_day(demand, e2e_bound_ms=bound_for(day))
+        if not solved.is_optimal:
+            raise RuntimeError(f"Titan-Next {label} LP failed for day {day}: {solved.status}")
+        return solved.assignment
 
     def replay_days(
         self,
@@ -779,6 +1124,7 @@ class SweepRunner:
         reduced: bool = True,
         evaluate: bool = False,
         pool=None,
+        return_tables: Optional[bool] = None,
     ) -> Dict[int, Dict[str, "PredictionDayResult"]]:
         """Parallel phase 3: per-day trace synthesis + controller replay.
 
@@ -787,12 +1133,19 @@ class SweepRunner:
         every requested controller's ``process_table``.  With
         ``evaluate=True`` the worker also scores each result through
         ``evaluate_batch`` (worker-local ``Scenario.eval_tables``) and
-        attaches it as ``PredictionDayResult.evaluation``.
+        attaches it as ``PredictionDayResult.evaluation``.  In compact
+        mode (see ``return_tables`` / the runner default) workers ship
+        :class:`DaySummary` rows instead of full batches and the
+        returned values are :class:`SummaryDayResult` wrappers.
         """
         plans = plans if plans is not None else {}
         chosen = tuple(policies)
-        tasks = [(day, plans.get(day), chosen, seed, reduced, evaluate) for day in days]
-        return dict(self.map_days(_replay_day_task, tasks, pool=pool))
+        compact = self._compact(return_tables)
+        tasks = [(day, plans.get(day), chosen, seed, reduced, evaluate, compact) for day in days]
+        gathered = dict(self.map_days(_replay_day_task, tasks, pool=pool))
+        if not compact:
+            return gathered
+        return {day: self._wrap_results(day, results, plans) for day, results in gathered.items()}
 
     def run_prediction_window(
         self,
@@ -803,50 +1156,128 @@ class SweepRunner:
         reduced: bool = True,
         seed: int = 71,
         evaluate: bool = False,
+        chunk_days: Optional[int] = None,
+        return_tables: Optional[bool] = None,
     ) -> Dict[int, Dict[str, "PredictionDayResult"]]:
         """The §8 experiment for every (day, policy) in a window.
 
         Per (day, policy) the output is identical to
         :func:`~repro.core.titan_next.run_prediction_day` — same trace,
-        same seeds, same plan optimum — for any worker count.
+        same seeds, same plan optimum — for any worker count, any
+        ``chunk_days``, and either result mode.  This is
+        :meth:`iter_days` drained into a dict; pass ``chunk_days`` (or
+        set it on the runner) to bound in-flight work, or iterate
+        :meth:`iter_days` directly to also bound *held* results.
+        """
+        return dict(
+            self.iter_days(
+                days,
+                policies=policies,
+                history_weeks=history_weeks,
+                lp_options=lp_options,
+                reduced=reduced,
+                seed=seed,
+                evaluate=evaluate,
+                chunk_days=chunk_days,
+                return_tables=return_tables,
+            )
+        )
+
+    def iter_days(
+        self,
+        days: Sequence[int],
+        policies: Optional[Sequence[str]] = None,
+        history_weeks: int = 4,
+        lp_options: Optional[JointLpOptions] = None,
+        reduced: bool = True,
+        seed: int = 71,
+        evaluate: bool = False,
+        chunk_days: Optional[int] = None,
+        return_tables: Optional[bool] = None,
+    ) -> Iterator[Tuple[int, Dict[str, "PredictionDayResult"]]]:
+        """Stream the §8 window as ``(day, {policy: result})`` pairs,
+        in day order, ``chunk_days`` days at a time.
+
+        The streaming contract: results are byte-identical to the
+        monolithic window for every chunk size.  That holds because
+        chunking never splits the planning *structure* — forecasts for
+        the whole window are computed up front (demand tables are
+        small), one planner backend is built over the full-window
+        config union, and the day loop walks it in day order across
+        chunk boundaries — so the hot-start chain, and therefore every
+        plan, is the monolithic one.  Only plan-solving, replay
+        fan-out, and result materialization proceed O(chunk) at a
+        time: a 52-week sweep holds one chunk of day results (plus the
+        window's forecast tables) instead of every ``CallTable`` in
+        the window.
+
+        With the pipelined planner each chunk still overlaps planning
+        with replay; chunks of 1 degrade to inline replay, so keep
+        ``chunk_days >= workers`` when fan-out matters.
         """
         day_list = list(days)
         chosen = tuple(policies) if policies is not None else PREDICTION_POLICIES
-        if "titan-next" not in chosen:
-            return self.replay_days(
-                day_list, policies=chosen, seed=seed, reduced=reduced, evaluate=evaluate
-            )
-        # One pool spans both parallel phases: workers spawn (and
-        # unpickle the setup) once, idling only through the short
-        # serial planning loop in between.
+        chunk = chunk_days if chunk_days is not None else self.chunk_days
+        chunk = chunk if chunk is not None else (len(day_list) or 1)
+        if chunk < 1:
+            raise ValueError("chunk_days must be >= 1 (or None)")
+        # One pool spans every phase and chunk: workers spawn (and
+        # build their state) once, idling only through the short serial
+        # planning stretches in between.
         with self.worker_pool(len(day_list)) as pool:
+            if "titan-next" not in chosen:
+                for start in range(0, len(day_list), chunk):
+                    block = day_list[start : start + chunk]
+                    results = self.replay_days(
+                        block,
+                        policies=chosen,
+                        seed=seed,
+                        reduced=reduced,
+                        evaluate=evaluate,
+                        pool=pool,
+                        return_tables=return_tables,
+                    )
+                    yield from ((day, results[day]) for day in block)
+                return
             predictions = self.forecast_days(
                 day_list, history_weeks, reduced=reduced, pool=pool
             )
-            if self.planner.pipelined and pool is not None:
-                return self._pipelined_window(
-                    day_list, predictions, chosen, lp_options, reduced, seed, evaluate, pool
-                )
-            plans = self.plan_days(predictions, lp_options=lp_options, pool=pool)
-            return self.replay_days(
-                day_list,
-                plans=plans,
-                policies=chosen,
-                seed=seed,
-                reduced=reduced,
-                evaluate=evaluate,
-                pool=pool,
-            )
+            backend, bound_for = self._plan_backend(predictions, lp_options, pool)
+            for start in range(0, len(day_list), chunk):
+                block = day_list[start : start + chunk]
+                if self.planner.pipelined and pool is not None:
+                    results = self._replay_chunk_pipelined(
+                        block, predictions, backend, bound_for, chosen,
+                        seed, reduced, evaluate, return_tables, pool,
+                    )
+                else:
+                    plans = {
+                        day: self._solve_plan(backend, bound_for, predictions[day], day)
+                        for day in block
+                    }
+                    results = self.replay_days(
+                        block,
+                        plans=plans,
+                        policies=chosen,
+                        seed=seed,
+                        reduced=reduced,
+                        evaluate=evaluate,
+                        pool=pool,
+                        return_tables=return_tables,
+                    )
+                yield from ((day, results[day]) for day in block)
 
-    def _pipelined_window(
+    def _replay_chunk_pipelined(
         self,
-        day_list: Sequence[int],
+        block: Sequence[int],
         predictions: Dict[int, DemandTable],
+        backend: PlanBackend,
+        bound_for: Callable[[int], float],
         policies: Tuple[str, ...],
-        lp_options: Optional[JointLpOptions],
-        reduced: bool,
         seed: int,
+        reduced: bool,
         evaluate: bool,
+        return_tables: Optional[bool],
         pool,
     ) -> Dict[int, Dict[str, "PredictionDayResult"]]:
         """Planning/replay pipelining: plan day ``d+1`` while the pool
@@ -857,19 +1288,21 @@ class SweepRunner:
         path — but each day's replay is *submitted* the moment its plan
         is solved, so the pool chews replay (and, for the decomposed
         backend, slot-subproblem) tasks while the next day's LP solves.
-        Results are gathered at the end, keyed and ordered by day.
+        Results are gathered at the end of the chunk, keyed by day.
         """
-        backend, bound_for = self._plan_backend(predictions, lp_options, pool)
+        compact = self._compact(return_tables)
+        plans: Dict[int, AssignmentTable] = {}
         tasks = []
         pending = {}
-        for day in day_list:
-            solved = backend.solve_day(predictions[day], e2e_bound_ms=bound_for(day))
-            if not solved.is_optimal:
-                raise RuntimeError(f"Titan-Next planning LP failed for day {day}: {solved.status}")
-            task = (day, solved.assignment, policies, seed, reduced, evaluate)
+        for day in block:
+            plans[day] = self._solve_plan(backend, bound_for, predictions[day], day)
+            task = (day, plans[day], policies, seed, reduced, evaluate, compact)
             pending[len(tasks)] = self._submit_guarded(pool, _replay_day_task, task, 0)
             tasks.append(task)
-        return dict(self._gather(_replay_day_task, tasks, pool, pending=pending))
+        gathered = dict(self._gather(_replay_day_task, tasks, pool, pending=pending))
+        if not compact:
+            return gathered
+        return {day: self._wrap_results(day, results, plans) for day, results in gathered.items()}
 
     def run_prediction_sweep(
         self,
@@ -879,6 +1312,8 @@ class SweepRunner:
         reduced: bool = True,
         seed: int = 71,
         evaluate: bool = False,
+        chunk_days: Optional[int] = None,
+        return_tables: Optional[bool] = None,
     ) -> Dict[int, "PredictionDayResult"]:
         """Titan-Next only over a run of days (the classic §8 sweep)."""
         window = self.run_prediction_window(
@@ -889,6 +1324,8 @@ class SweepRunner:
             reduced=reduced,
             seed=seed,
             evaluate=evaluate,
+            chunk_days=chunk_days,
+            return_tables=return_tables,
         )
         return {day: results["titan-next"] for day, results in window.items()}
 
@@ -899,6 +1336,7 @@ class SweepRunner:
         days: Sequence[int],
         policies: Optional[Sequence[str]] = None,
         use_plan_cache: bool = True,
+        chunk_days: Optional[int] = None,
     ) -> Dict[int, Dict[str, "EvaluationResult"]]:
         """The §7 oracle comparison over a run of days.
 
@@ -906,12 +1344,19 @@ class SweepRunner:
         cached-LP solves run serially in the parent; baseline policy
         assignment and all ``evaluate_batch`` scoring fan out per day.
         Identical to a :func:`~repro.core.titan_next.run_oracle_day`
-        loop for any worker count.
+        loop for any worker count and any ``chunk_days``: chunking only
+        bounds how many days are planned and in flight at once — the
+        cached-LP hot-start chain still walks the full window's one
+        backend in day order.
         """
         from .titan_next import oracle_demand_for_day
 
         day_list = list(days)
         chosen = tuple(policies) if policies is not None else ("wrr", "titan", "lf", "titan-next")
+        chunk = chunk_days if chunk_days is not None else self.chunk_days
+        chunk = chunk if chunk is not None else (len(day_list) or 1)
+        if chunk < 1:
+            raise ValueError("chunk_days must be >= 1 (or None)")
         demands = {day: oracle_demand_for_day(self.setup, day) for day in day_list}
         if not (use_plan_cache and "titan-next" in chosen and day_list):
             tasks = [(day, demands[day], None, chosen) for day in day_list]
@@ -920,26 +1365,27 @@ class SweepRunner:
         # One pool spans planning and scoring, so the pipelined mode
         # can overlap the two and the decomposed backend can fan its
         # slot subproblems over the same workers.
+        out: Dict[int, Dict[str, "EvaluationResult"]] = {}
         with self.worker_pool(len(day_list)) as pool:
             backend, bound_for = self._plan_backend(demands, None, pool)
-            if self.planner.pipelined and pool is not None:
-                tasks = []
-                pending = {}
-                for day in day_list:
-                    solved = backend.solve_day(demands[day], e2e_bound_ms=bound_for(day))
-                    if not solved.is_optimal:
-                        raise RuntimeError(
-                            f"Titan-Next cached LP failed for day {day}: {solved.status}"
+            for start in range(0, len(day_list), chunk):
+                block = day_list[start : start + chunk]
+                if self.planner.pipelined and pool is not None:
+                    tasks = []
+                    pending = {}
+                    for day in block:
+                        assignment = self._solve_plan(
+                            backend, bound_for, demands[day], day, label="cached"
                         )
-                    task = (day, demands[day], solved.assignment, chosen)
-                    pending[len(tasks)] = self._submit_guarded(pool, _oracle_day_task, task, 0)
-                    tasks.append(task)
-                return dict(self._gather(_oracle_day_task, tasks, pool, pending=pending))
-            tn_plans: Dict[int, AssignmentTable] = {}
-            for day in day_list:
-                solved = backend.solve_day(demands[day], e2e_bound_ms=bound_for(day))
-                if not solved.is_optimal:
-                    raise RuntimeError(f"Titan-Next cached LP failed for day {day}: {solved.status}")
-                tn_plans[day] = solved.assignment
-            tasks = [(day, demands[day], tn_plans.get(day), chosen) for day in day_list]
-            return dict(self.map_days(_oracle_day_task, tasks, pool=pool))
+                        task = (day, demands[day], assignment, chosen)
+                        pending[len(tasks)] = self._submit_guarded(pool, _oracle_day_task, task, 0)
+                        tasks.append(task)
+                    out.update(dict(self._gather(_oracle_day_task, tasks, pool, pending=pending)))
+                    continue
+                tn_plans = {
+                    day: self._solve_plan(backend, bound_for, demands[day], day, label="cached")
+                    for day in block
+                }
+                tasks = [(day, demands[day], tn_plans.get(day), chosen) for day in block]
+                out.update(dict(self.map_days(_oracle_day_task, tasks, pool=pool)))
+        return out

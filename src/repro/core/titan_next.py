@@ -502,6 +502,8 @@ def run_oracle_week(
     workers: int = 1,
     backend: Optional[str] = None,
     planner=None,
+    shared_memory: Optional[bool] = None,
+    chunk_days: Optional[int] = None,
 ):
     """The Fig 14 experiment: one week, all policies, per-day results.
 
@@ -510,14 +512,21 @@ def run_oracle_week(
     built once for the whole week and only its RHS changes per day.
     ``workers`` fans the per-day baseline assignment + scoring over a
     :class:`~repro.core.sweep.SweepRunner` pool; ``planner`` picks the
-    planning backend/orchestration (see :mod:`repro.core.planner`).
-    Results are identical for any worker count and planner spec.
+    planning backend/orchestration (see :mod:`repro.core.planner`);
+    ``shared_memory`` maps worker state zero-copy and ``chunk_days``
+    bounds in-flight days.  Results are identical for any worker
+    count, planner spec, backend, and chunk size.
     """
     from .sweep import SweepRunner
 
-    runner = SweepRunner(setup, workers=workers, backend=backend, planner=planner)
+    runner = SweepRunner(
+        setup, workers=workers, backend=backend, planner=planner, shared_memory=shared_memory
+    )
     return runner.run_oracle_days(
-        range(start_day, start_day + days), policies=policies, use_plan_cache=use_plan_cache
+        range(start_day, start_day + days),
+        policies=policies,
+        use_plan_cache=use_plan_cache,
+        chunk_days=chunk_days,
     )
 
 
@@ -677,6 +686,9 @@ def run_prediction_sweep(
     workers: int = 1,
     backend: Optional[str] = None,
     planner=None,
+    shared_memory: Optional[bool] = None,
+    chunk_days: Optional[int] = None,
+    return_tables: Optional[bool] = None,
 ) -> Dict[int, PredictionDayResult]:
     """The §8 Titan-Next pipeline over a run of days, with one cached LP.
 
@@ -696,12 +708,27 @@ def run_prediction_sweep(
     byte-identical for every worker count and for every monolithic
     spec; decomposed specs reproduce the same plans to solver
     precision.
+
+    ``shared_memory=True`` maps worker state zero-copy through one
+    shm segment and (by default) ships compact
+    :class:`~repro.core.sweep.DaySummary` results; ``chunk_days``
+    bounds how many days are planned and in flight at once;
+    ``return_tables`` overrides the result mode — none of the three
+    changes any result byte.
     """
     from .sweep import SweepRunner
 
-    runner = SweepRunner(setup, workers=workers, backend=backend, planner=planner)
+    runner = SweepRunner(
+        setup, workers=workers, backend=backend, planner=planner, shared_memory=shared_memory
+    )
     return runner.run_prediction_sweep(
-        days, history_weeks=history_weeks, lp_options=lp_options, reduced=reduced, seed=seed
+        days,
+        history_weeks=history_weeks,
+        lp_options=lp_options,
+        reduced=reduced,
+        seed=seed,
+        chunk_days=chunk_days,
+        return_tables=return_tables,
     )
 
 
@@ -717,6 +744,9 @@ def run_prediction_window(
     backend: Optional[str] = None,
     planner=None,
     evaluate: bool = False,
+    shared_memory: Optional[bool] = None,
+    chunk_days: Optional[int] = None,
+    return_tables: Optional[bool] = None,
 ) -> Dict[int, Dict[str, PredictionDayResult]]:
     """All controllers over a multi-day §8 window (Fig 15 over days).
 
@@ -726,11 +756,17 @@ def run_prediction_window(
     per-day work fans out across ``workers``.  ``planner`` swaps the
     planning backend/orchestration (see :mod:`repro.core.planner`).
     ``evaluate=True`` also scores each result in-pool
-    (``PredictionDayResult.evaluation``).
+    (``PredictionDayResult.evaluation``).  ``shared_memory`` /
+    ``chunk_days`` / ``return_tables`` select the zero-copy worker
+    state, streaming chunk size, and compact result mode (see
+    :class:`~repro.core.sweep.SweepRunner`) without changing any
+    result byte.
     """
     from .sweep import SweepRunner
 
-    runner = SweepRunner(setup, workers=workers, backend=backend, planner=planner)
+    runner = SweepRunner(
+        setup, workers=workers, backend=backend, planner=planner, shared_memory=shared_memory
+    )
     return runner.run_prediction_window(
         days,
         policies=policies,
@@ -739,6 +775,8 @@ def run_prediction_window(
         reduced=reduced,
         seed=seed,
         evaluate=evaluate,
+        chunk_days=chunk_days,
+        return_tables=return_tables,
     )
 
 

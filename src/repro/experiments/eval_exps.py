@@ -23,6 +23,7 @@ from ..core.titan_next import (
     run_prediction_day,
     run_prediction_window,
 )
+from ..core.sweep import SweepRunner
 from ..workload.demand import SLOTS_PER_DAY
 from .base import ExperimentResult
 
@@ -66,17 +67,32 @@ def fig14_measured(week) -> Dict[str, object]:
 
 
 def run_fig14(
-    setup: Optional[EuropeSetup] = None, days: int = 7, workers: int = 1, planner=None
+    setup: Optional[EuropeSetup] = None,
+    days: int = 7,
+    workers: int = 1,
+    planner=None,
+    shared_memory: Optional[bool] = None,
+    chunk_days: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig 14 — oracle sum-of-peaks per day, normalized to WRR.
 
     ``workers`` fans the per-day assignment + scoring across a sweep
     pool and ``planner`` picks the planning backend/orchestration
-    (see :mod:`repro.core.planner`); the measured rows are identical
-    for any worker count and planner spec.
+    (see :mod:`repro.core.planner`); ``shared_memory`` maps worker
+    state zero-copy and ``chunk_days`` bounds in-flight days; the
+    measured rows are identical for any worker count and spec.
     """
     setup = setup if setup is not None else default_setup()
-    measured = fig14_measured(run_oracle_week(setup, days=days, workers=workers, planner=planner))
+    measured = fig14_measured(
+        run_oracle_week(
+            setup,
+            days=days,
+            workers=workers,
+            planner=planner,
+            shared_memory=shared_memory,
+            chunk_days=chunk_days,
+        )
+    )
     return ExperimentResult(
         experiment_id="fig14",
         title="Oracle: sum of peak WAN bandwidth per day",
@@ -119,13 +135,19 @@ def fig15_measured(window, scenario) -> Dict[str, object]:
     window means, so a one-day window reproduces the single-day Fig 15
     numbers exactly.  Results scored in-pool (``evaluation`` set) are
     consumed without re-evaluating.
+
+    ``window`` may also be an *iterable* of ``(day, results)`` pairs —
+    the streaming form :meth:`~repro.core.sweep.SweepRunner.iter_days`
+    produces — in which case days are aggregated as they arrive and
+    never held together in memory.
     """
     by_day: Dict[str, Dict[str, float]] = {}
     savings_wrr: List[float] = []
     savings_lf: List[float] = []
     migration_rates: List[float] = []
     sums: Dict[str, float] = {}
-    for day, results in window.items():
+    items = window.items() if hasattr(window, "items") else window
+    for day, results in items:
         peaks = {
             name: (
                 r.evaluation if r.evaluation is not None else r.evaluate(scenario)
@@ -161,6 +183,8 @@ def run_fig15(
     days: int = 1,
     workers: int = 1,
     planner=None,
+    shared_memory: Optional[bool] = None,
+    chunk_days: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig 15 — prediction-based sum-of-peaks, normalized to WRR.
 
@@ -171,7 +195,13 @@ def run_fig15(
     """
     setup = setup if setup is not None else default_setup()
     window = run_prediction_window(
-        setup, range(day, day + days), workers=workers, planner=planner, evaluate=True
+        setup,
+        range(day, day + days),
+        workers=workers,
+        planner=planner,
+        evaluate=True,
+        shared_memory=shared_memory,
+        chunk_days=chunk_days,
     )
     measured = fig15_measured(window, setup.scenario)
     return ExperimentResult(
@@ -191,6 +221,8 @@ def run_fig18_sweep(
     days: int = 14,
     workers: int = 1,
     planner=None,
+    shared_memory: Optional[bool] = None,
+    chunk_days: Optional[int] = None,
 ) -> ExperimentResult:
     """Fig 18-style long-horizon §8 sweep: savings held over weeks.
 
@@ -205,17 +237,29 @@ def run_fig18_sweep(
     ``planner="decomposed+pipelined"`` and ``workers > 1`` the planning
     loop shards by slot over the pool and runs a day ahead of replay
     (``benchmarks/test_sweep_speed.py`` pins the speedup); the measured
-    rows stay equivalent for every spec.
+    rows stay equivalent for every spec.  With ``chunk_days`` set the
+    window *streams*: days flow straight from the sweep into the
+    aggregator and only one chunk of results is alive at a time, so the
+    horizon can grow without the resident set growing with it.
     """
     setup = setup if setup is not None else default_setup()
-    window = run_prediction_window(
-        setup,
-        range(start_day, start_day + days),
-        workers=workers,
-        planner=planner,
-        evaluate=True,
-    )
-    measured = fig15_measured(window, setup.scenario)
+    day_range = range(start_day, start_day + days)
+    if chunk_days is not None:
+        runner = SweepRunner(
+            setup, workers=workers, planner=planner, shared_memory=shared_memory
+        )
+        stream = runner.iter_days(day_range, evaluate=True, chunk_days=chunk_days)
+        measured = fig15_measured(stream, setup.scenario)
+    else:
+        window = run_prediction_window(
+            setup,
+            day_range,
+            workers=workers,
+            planner=planner,
+            evaluate=True,
+            shared_memory=shared_memory,
+        )
+        measured = fig15_measured(window, setup.scenario)
     per_day = [1 - row["titan-next"] for row in measured["normalized_peaks_by_day"].values()]
     measured["tn_savings_vs_wrr_min_day"] = round(min(per_day), 3)
     measured["tn_savings_vs_wrr_max_day"] = round(max(per_day), 3)
