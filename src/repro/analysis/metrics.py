@@ -26,7 +26,7 @@ Two scoring paths share one result type:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -82,7 +82,7 @@ class LoadMatrix:
         """Nonzero entries as the legacy ``{(link, slot): Gbps}`` dict."""
         links, slots = np.nonzero(self._dense)
         return {
-            (int(l), int(s)): float(self._dense[l, s]) for l, s in zip(links, slots)
+            (int(li), int(s)): float(self._dense[li, s]) for li, s in zip(links, slots)
         }
 
     def add(self, link_idx: int, slot: int, gbps: float) -> None:
@@ -309,9 +309,11 @@ def _rows_from_table(scenario, assignment: Mapping[Tuple[int, CallConfig, str, s
     for (t, config, dc, option), count in assignment.items():
         if count <= 0:
             continue
-        ci = config_index.get(id(config))
+        # Transient per-call intern: `configs` pins every keyed object
+        # for the dict's whole lifetime, so ids cannot be recycled.
+        ci = config_index.get(id(config))  # reprolint: disable=REP002
         if ci is None:
-            ci = config_index[id(config)] = len(configs)
+            ci = config_index[id(config)] = len(configs)  # reprolint: disable=REP002
             configs.append(config)
         slots.append(t)
         cfgs.append(ci)

@@ -16,16 +16,16 @@ builds that default.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..geo.world import World, default_world
-from ..net.latency import INTERNET, ROUTING_OPTIONS, WAN, LatencyModel
-from ..net.topology import WanLink, WanTopology
+from ..geo.world import World
+from ..net.latency import INTERNET, WAN, LatencyModel
+from ..net.topology import WanLink
 from ..workload.configs import CallConfig
-from ..workload.demand import SLOTS_PER_DAY, ConfigUniverse, DemandModel
+from ..workload.demand import SLOTS_PER_DAY, DemandModel
 from .capacity import InternetCapacityBook
 
 #: Routing options in evaluation-array index order (0 = WAN, 1 = INTERNET).
@@ -135,7 +135,7 @@ class Scenario:
 
     def link_indices(self, country_code: str, dc_code: str) -> List[int]:
         """Indices (into ``wan_links``) charged by WAN routing of a pair."""
-        return [self._link_index[l.key] for l in self._links[(country_code, dc_code)]]
+        return [self._link_index[ln.key] for ln in self._links[(country_code, dc_code)]]
 
     def link_incidence_csr(self) -> Tuple[np.ndarray, np.ndarray]:
         """WAN link incidence as CSR over (country, DC) pair ids.
@@ -174,7 +174,9 @@ class Scenario:
         and lookups stay O(n) int hashing.  The cached value keeps the
         config tuple alive, which is what keeps its ids valid as keys.
         """
-        key = tuple(map(id, configs))
+        # Ids stay valid: the cached value pins the config tuple, and
+        # __getstate__ drops the cache before any pickle boundary.
+        key = tuple(map(id, configs))  # reprolint: disable=REP002
         tables = self._eval_tables.get(key)
         if tables is None:
             tables = self._build_eval_tables(tuple(configs))
@@ -194,7 +196,9 @@ class Scenario:
         same FIFO eviction as :meth:`eval_tables`, and the installed
         entry keeps the config tuple alive exactly like a built one.
         """
-        key = tuple(map(id, tables.configs))
+        # Worker-local ids of the worker's own universe objects; the
+        # installed entry pins tables.configs just like a built one.
+        key = tuple(map(id, tables.configs))  # reprolint: disable=REP002
         if key not in self._eval_tables:
             while len(self._eval_tables) >= self.EVAL_TABLE_CACHE_SIZE:
                 self._eval_tables.pop(next(iter(self._eval_tables)))

@@ -20,7 +20,7 @@ Two evaluation harnesses mirror the paper's two modes:
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,7 +29,7 @@ from ..geo.world import World, default_world
 from ..net.latency import LatencyModel
 from ..workload.configs import CallConfig, group_by_reduced
 from ..workload.demand import SLOTS_PER_DAY, ConfigUniverse, DemandModel
-from ..workload.traces import Call, CallTable, TraceGenerator
+from ..workload.traces import CallTable, TraceGenerator
 from .capacity import InternetCapacityBook
 from .controller import (
     AssignmentBatch,
@@ -222,7 +222,8 @@ def predicted_demand_for_day_reference(
         prediction = forecast_day(history, horizon=SLOTS_PER_DAY)
         for slot_of_day, value in enumerate(prediction):
             if value > 0:
-                raw[(slot_of_day, item.config)] = raw.get((slot_of_day, item.config), 0.0) + float(value)
+                key = (slot_of_day, item.config)
+                raw[key] = raw.get(key, 0.0) + float(value)
     if not reduced:
         return raw
     table: Dict[Tuple[int, CallConfig], float] = {}
@@ -300,6 +301,13 @@ class PlanCache:
         )
         self._base_c3_rhs = (
             self._artifacts.c3_block.rhs.copy() if self._artifacts.c3_block is not None else None
+        )
+
+    def __getstate__(self):
+        raise TypeError(
+            "PlanCache holds a lock and a live solver session and cannot cross a "
+            "process boundary; sweep workers build their own per-slot caches "
+            "(see repro.core.sweep._WorkerState.slot_planner)"
         )
 
     @property
@@ -477,7 +485,8 @@ def run_oracle_day(
             # options — every other field is baked into the cached
             # structure and silently diverging would return plans that
             # violate the caller's request.
-            if replace(lp_options, e2e_bound_ms=plan_cache.options.e2e_bound_ms) != plan_cache.options:
+            aligned = replace(lp_options, e2e_bound_ms=plan_cache.options.e2e_bound_ms)
+            if aligned != plan_cache.options:
                 raise ValueError(
                     "lp_options differ from the PlanCache's options in more than "
                     "e2e_bound_ms; rebuild the cache with the desired options"

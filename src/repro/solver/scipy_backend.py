@@ -122,6 +122,12 @@ class PreparedHighs:
         self.bounds = np.column_stack([lowers, uppers]) if n else None
         self._stacked: Optional[sparse.csc_matrix] = None
 
+    def __getstate__(self):
+        raise TypeError(
+            "PreparedHighs owns a live HiGHS session and cannot cross a process "
+            "boundary; build a fresh instance from the LinearProgram on the far side"
+        )
+
     def stacked_matrix(self) -> sparse.csc_matrix:
         """The ``[A_ub; A_eq]`` row stack in CSC form, built once.
 
@@ -268,7 +274,9 @@ class PreparedHighs:
         if result.status == 3:
             return Solution(status="unbounded", objective=None, iterations=int(result.nit))
         if not result.success:
-            return Solution(status="error", objective=None, iterations=int(getattr(result, "nit", 0)))
+            return Solution(
+                status="error", objective=None, iterations=int(getattr(result, "nit", 0))
+            )
         objective = float(result.fun) + lp.objective_constant
         return Solution(
             status="optimal",
@@ -336,6 +344,12 @@ class PreparedSubproblem:
         self.in_model[self.columns] = True
         self._use_session = _highs_core() is not None
         self._session = None
+
+    def __getstate__(self):
+        raise TypeError(
+            "PreparedSubproblem owns a live HiGHS session and cannot cross a "
+            "process boundary; rebuild from the parent program and column set"
+        )
 
     # -- column bookkeeping -------------------------------------------------
 
