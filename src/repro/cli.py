@@ -126,6 +126,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     calibrate_parser = subparsers.add_parser("calibrate", help="refit the Fig 4 richness table")
     calibrate_parser.add_argument("--hours", type=int, default=120)
     calibrate_parser.add_argument("--iterations", type=int, default=11)
+    subparsers.add_parser(
+        "lint",
+        help="run reprolint, the AST contract checker (args pass through)",
+        add_help=False,
+    )
 
     args, unknown = parser.parse_known_args(argv)
     if args.command == "list":
@@ -136,6 +141,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_run_all()
     if args.command == "calibrate":
         return cmd_calibrate(args.hours, args.iterations)
+    if args.command == "lint":
+        from .lint.runner import main as lint_main
+
+        return lint_main(unknown)
     parser.print_help()
     return 2
 

@@ -1,0 +1,28 @@
+"""reprolint — AST contract checker for the sweep engine's invariants.
+
+Usage::
+
+    python -m repro.lint [paths ...]       # scan (default: src)
+    python -m repro.lint --list-rules
+    python -m repro lint ...               # same, via the repro CLI
+
+See :mod:`repro.lint.engine` for the rule model and the ``rules/``
+package for the six shipped contracts (REP001–REP006).
+"""
+
+from .baseline import DEFAULT_BASELINE
+from .engine import FileContext, Finding, Rule, all_rules, register, select_rules
+from .runner import lint_paths, lint_source, main
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "register",
+    "select_rules",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

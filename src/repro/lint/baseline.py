@@ -1,0 +1,78 @@
+"""Committed baseline: grandfathered findings the build tolerates.
+
+The baseline maps ``(rule, path, hash of the offending line's text)``
+to an occurrence count, so entries survive line-number drift but die
+with the code they describe.  ``python -m repro.lint --update-baseline``
+rewrites the file from the current findings; the CI gate runs against
+the committed copy and fails on anything *not* in it.
+
+Policy note (ISSUE 9): deliberate exemptions belong in
+``# reprolint: disable=`` comments next to the code with a
+justification — the baseline exists for *grandfathered* debt only, and
+the shipped file is empty.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .engine import Finding
+
+#: Default baseline file name, looked up in the working directory.
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+_VERSION = 1
+
+
+def _line_text(finding: Finding, lines_by_path: Dict[str, List[str]]) -> str:
+    lines = lines_by_path.get(finding.path, [])
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def fingerprint(finding: Finding, lines_by_path: Dict[str, List[str]]) -> str:
+    digest = hashlib.sha1(_line_text(finding, lines_by_path).encode("utf-8")).hexdigest()[:16]
+    # Paths are normalized to forward slashes so a baseline written on
+    # one platform filters on another.
+    path = finding.path.replace("\\", "/")
+    return f"{finding.rule}:{path}:{digest}"
+
+
+def load(path: Path) -> Dict[str, int]:
+    data = json.loads(path.read_text())
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline version in {path}")
+    entries = data.get("entries", {})
+    return {str(key): int(count) for key, count in entries.items()}
+
+
+def save(path: Path, findings: List[Finding], lines_by_path: Dict[str, List[str]]) -> None:
+    entries: Dict[str, int] = {}
+    for finding in findings:
+        key = fingerprint(finding, lines_by_path)
+        entries[key] = entries.get(key, 0) + 1
+    payload = {"version": _VERSION, "entries": dict(sorted(entries.items()))}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def filter_baselined(
+    findings: List[Finding],
+    baseline: Dict[str, int],
+    lines_by_path: Dict[str, List[str]],
+) -> Tuple[List[Finding], int]:
+    """Drop findings covered by the baseline; returns (kept, dropped)."""
+    budget = dict(baseline)
+    kept: List[Finding] = []
+    dropped = 0
+    for finding in findings:
+        key = fingerprint(finding, lines_by_path)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped

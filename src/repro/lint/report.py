@@ -1,0 +1,46 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from .engine import Finding
+
+
+def render_text(findings: List[Finding], files_scanned: int, baselined: int = 0) -> str:
+    lines = [
+        f"{f.path}:{f.line}:{f.col + 1}: {f.rule}[{f.name}] {f.message}" for f in findings
+    ]
+    by_rule = Counter(f.rule for f in findings)
+    summary = (
+        f"reprolint: {len(findings)} finding(s) in {files_scanned} file(s)"
+        if findings
+        else f"reprolint: clean ({files_scanned} file(s) scanned)"
+    )
+    if by_rule:
+        summary += " [" + ", ".join(f"{rule}={n}" for rule, n in sorted(by_rule.items())) + "]"
+    if baselined:
+        summary += f" ({baselined} baselined finding(s) suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], files_scanned: int, baselined: int = 0) -> str:
+    payload = {
+        "files_scanned": files_scanned,
+        "baselined": baselined,
+        "findings": [
+            {
+                "rule": f.rule,
+                "name": f.name,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,10 @@
+"""Rule modules: importing this package populates the registry."""
+
+from . import (  # noqa: F401
+    idkeys,
+    pickle_safety,
+    rhs_restore,
+    rng,
+    set_iteration,
+    shm_discipline,
+)

@@ -1,0 +1,96 @@
+"""REP002 no-id-keyed-cache: ``id(x)`` must not key caches or tables.
+
+PR 5 removed ``Scenario`` caches whose ``id()``-derived keys collided
+across processes (CPython reuses addresses; a pickled object in a
+worker has a fresh id and may alias a dead parent object's).  This rule
+flags ``id(...)`` used in key position:
+
+* as a subscript key (``cache[id(x)]``, load or store);
+* as the key argument of ``.get`` / ``.setdefault`` / ``.pop``;
+* on the left of ``in`` / ``not in``;
+* as a dict-literal key;
+* through ``map(id, ...)`` (building identity key tuples).
+
+``id()`` in non-key positions (e.g. ``__hash__`` returning
+``id(self)``) is untouched.  The two sanctioned id-keyed caches in the
+repo (``Scenario.eval_tables`` — whose ``__getstate__`` drops the cache
+precisely because ids do not travel) carry explicit suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import FileContext, Finding, Rule, parent_of, register
+
+_KEY_METHODS = {"get", "setdefault", "pop"}
+
+
+def _field_of(parent: ast.AST, descendant: ast.AST) -> Optional[str]:
+    """Which field of ``parent`` contains ``descendant`` (transitively)."""
+    for name, value in ast.iter_fields(parent):
+        children = value if isinstance(value, list) else [value]
+        for child in children:
+            if not isinstance(child, ast.AST):
+                continue
+            if child is descendant or any(n is descendant for n in ast.walk(child)):
+                return name
+    return None
+
+
+@register
+class IdKeyedCacheRule(Rule):
+    id = "REP002"
+    name = "no-id-keyed-cache"
+    summary = "id(x) used as a dict/cache key — ids collide across processes"
+
+    def run(self, tree: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "map":
+                if node.args and isinstance(node.args[0], ast.Name) and node.args[0].id == "id":
+                    yield self.finding(
+                        ctx, node, "map(id, ...) builds identity keys; ids collide across processes"
+                    )
+                continue
+            if not (isinstance(node.func, ast.Name) and node.func.id == "id" and node.args):
+                continue
+            reason = self._key_context(node)
+            if reason is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"id(...) used as {reason} — identity keys collide across processes; "
+                    "key on stable content (or intern objects explicitly)",
+                )
+
+    def _key_context(self, node: ast.Call) -> Optional[str]:
+        """How this ``id(...)`` call is used as a key, if it is."""
+        child: ast.AST = node
+        parent = parent_of(child)
+        while parent is not None and not isinstance(parent, ast.stmt):
+            if isinstance(parent, ast.Subscript) and _field_of(parent, child) == "slice":
+                return "a subscript key"
+            if isinstance(parent, ast.Dict) and _field_of(parent, child) == "keys":
+                return "a dict-literal key"
+            if isinstance(parent, ast.Compare):
+                if any(isinstance(op, (ast.In, ast.NotIn)) for op in parent.ops):
+                    if _field_of(parent, child) == "left":
+                        return "a membership-test key"
+            if isinstance(parent, ast.Call):
+                func = parent.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _KEY_METHODS
+                    and parent.args
+                    and any(n is child or n is node for n in ast.walk(parent.args[0]))
+                ):
+                    return f"the key of .{func.attr}()"
+                # Any other call boundary launders the value (str(id(x))
+                # is still an identity key, but hash(id(x)) patterns are
+                # rare enough to leave to review) — stop climbing.
+                return None
+            child, parent = parent, parent_of(parent)
+        return None

@@ -1,0 +1,152 @@
+"""REP003 pool-pickle-safety: what crosses an executor boundary must
+pickle, and classes holding unpicklables must say how.
+
+Two checks:
+
+* **submission check** — lambdas and locally-defined (closure)
+  functions passed to ``.submit(...)`` / ``.map(...)`` of an executor
+  die in pickle at fan-out time (or, worse, only under the process
+  backend while thread-backend tests stay green).  Pool task functions
+  must be module-level, like the sweep engine's ``_guarded_task``.
+
+* **payload-class check** — a class that constructs a lock
+  (``threading.Lock``/``RLock``/...) or a persistent solver session
+  (``highspy``'s ``_Highs``) holds state that cannot cross a process
+  boundary.  Such a class must define ``__getstate__`` (or
+  ``__reduce__``) — either dropping/rebuilding the unpicklable member
+  or raising a *named* error — so an accidental pool submission fails
+  with a diagnosis instead of a bare "cannot pickle '_thread.RLock'"
+  from deep inside the executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import (
+    FileContext,
+    Finding,
+    Rule,
+    call_args,
+    dotted_name,
+    last_segment,
+    register,
+)
+
+_SUBMIT_METHODS = {"submit", "map"}
+
+#: Constructors whose instances cannot cross a process boundary.
+_UNPICKLABLE_FACTORIES = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Event",
+    "Barrier",
+    "_Highs",
+}
+
+_STATE_DUNDERS = {"__getstate__", "__reduce__", "__reduce_ex__"}
+
+
+def _local_function_names(func: ast.AST) -> Set[str]:
+    """Names of functions defined directly inside ``func``'s body."""
+    names: Set[str] = set()
+    for stmt in ast.walk(func):
+        if stmt is func:
+            continue
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(stmt.name)
+    return names
+
+
+@register
+class PoolPickleSafetyRule(Rule):
+    id = "REP003"
+    name = "pool-pickle-safety"
+    summary = (
+        "no lambdas/closures submitted to executors; lock- or session-holding "
+        "classes must define __getstate__"
+    )
+
+    def run(self, tree: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_submissions(tree, ctx)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_payload_class(node, ctx)
+
+    # -- submission check ---------------------------------------------------
+
+    def _check_submissions(self, tree: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        scopes = [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            local_defs = (
+                _local_function_names(scope) if not isinstance(scope, ast.Module) else set()
+            )
+            for node in ast.walk(scope):
+                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                    continue
+                if node.func.attr not in _SUBMIT_METHODS:
+                    continue
+                for arg in call_args(node):
+                    if isinstance(arg, ast.Lambda):
+                        yield self.finding(
+                            ctx,
+                            arg,
+                            f"lambda passed to .{node.func.attr}() — lambdas do not "
+                            "pickle across the process-pool boundary; use a "
+                            "module-level function",
+                        )
+                    elif isinstance(arg, ast.Name) and arg.id in local_defs:
+                        yield self.finding(
+                            ctx,
+                            arg,
+                            f"locally-defined function '{arg.id}' passed to "
+                            f".{node.func.attr}() — closures do not pickle across the "
+                            "process-pool boundary; hoist it to module level",
+                        )
+
+    # -- payload-class check ------------------------------------------------
+
+    def _check_payload_class(self, node: ast.ClassDef, ctx: FileContext) -> Iterator[Finding]:
+        defined = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if defined & _STATE_DUNDERS:
+            return
+        # Walk the class body, pruning nested classes (they are visited
+        # — and judged — on their own).
+        stack: list = list(node.body)
+        calls: list = []
+        while stack:
+            current = stack.pop()
+            if isinstance(current, ast.ClassDef):
+                continue
+            if isinstance(current, ast.Call):
+                calls.append(current)
+            stack.extend(ast.iter_child_nodes(current))
+        calls.sort(key=lambda call: (call.lineno, call.col_offset))
+        for inner in calls:
+            name = dotted_name(inner.func)
+            tail = last_segment(name)
+            if tail in _UNPICKLABLE_FACTORIES and (
+                name == tail
+                or name.startswith(("threading.", "multiprocessing."))
+                or tail == "_Highs"
+            ):
+                yield self.finding(
+                    ctx,
+                    inner,
+                    f"class {node.name} constructs {tail}() but defines no __getstate__ "
+                    "— an instance reaching a pool boundary fails deep in pickle; "
+                    "define __getstate__ to drop/rebuild it or raise a named error",
+                )
+                return

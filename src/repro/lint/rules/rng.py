@@ -1,0 +1,116 @@
+"""REP001 rng-discipline: randomness flows only through counter-keyed
+Philox streams in the hot paths.
+
+Byte-identical parallel sweeps work because every random draw in
+``core``/``workload`` is a pure function of ``(seed, config, slot)``:
+counter-based Philox keys, no generator state crossing day or process
+boundaries.  Anything stateful or entropy-seeded breaks that contract:
+
+* ``np.random.*`` module-level functions mutate the global
+  ``RandomState`` (worker-order dependent);
+* the stdlib ``random`` module is one process-global Mersenne Twister;
+* ``default_rng()`` with no arguments seeds from OS entropy (every run
+  differs);
+* wall-clock reads (``time.time``, ``datetime.now``) smuggle
+  nondeterminism into values that must replay bit-for-bit.
+
+Seeded constructors (``default_rng(seed)``, ``Philox(key=...)``) are
+the sanctioned idiom and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, dotted_name, last_segment, register
+
+#: ``np.random`` attributes that construct explicitly-seeded generators
+#: rather than touching the global RandomState.
+_NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "Philox",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "SFC64",
+    "BitGenerator",
+    "RandomState",  # explicit legacy generator object, still instance-seeded
+}
+
+#: Wall-clock reads (suffix-matched on the dotted call name).
+_WALL_CLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+
+@register
+class RngDisciplineRule(Rule):
+    id = "REP001"
+    name = "rng-discipline"
+    summary = (
+        "hot-path randomness must be counter-keyed Philox: no np.random global "
+        "state, stdlib random, bare default_rng(), or wall-clock calls"
+    )
+    packages = ("core", "workload")
+
+    def run(self, tree: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "stdlib 'random' is a process-global generator; use "
+                            "counter-keyed np.random.Philox streams instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "stdlib 'random' is a process-global generator; use "
+                        "counter-keyed np.random.Philox streams instead",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(node, ctx)
+
+    def _check_call(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        tail = last_segment(name)
+        if name.startswith(("np.random.", "numpy.random.")):
+            if tail not in _NP_RANDOM_ALLOWED:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.random.{tail}() drives the global RandomState — draw from "
+                    "an explicit counter-keyed Generator instead",
+                )
+                return
+        if tail == "default_rng" and not node.args and not node.keywords:
+            yield self.finding(
+                ctx,
+                node,
+                "default_rng() with no seed draws OS entropy — derive the seed from "
+                "the (seed, config, slot) key instead",
+            )
+            return
+        for suffix in _WALL_CLOCK_SUFFIXES:
+            if name == suffix or name.endswith("." + suffix):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call {name}() in a hot path — results must be pure "
+                    "functions of (seed, config, slot)",
+                )
+                return

@@ -1,0 +1,51 @@
+"""``# reprolint: disable=RULE`` suppression comments.
+
+A finding is suppressed when the physical line it anchors to carries a
+disable comment naming its rule (by id or slug) or ``all``::
+
+    key = tuple(map(id, configs))  # reprolint: disable=REP002 -- ids are
+                                   # pinned by the cached tuple
+
+Multiple rules separate with commas: ``disable=REP001,REP004``.  The
+comment governs only its own line — deliberate exemptions should sit
+on the offending statement with a one-line justification after the
+rule list (anything following the rule tokens is ignored by the
+parser, so ``-- why`` prose is conventional, not syntax).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Set
+
+from .engine import Finding
+
+#: ``# reprolint: disable=REP001,rng-discipline`` (rules end at the
+#: first token that cannot be part of a rule list).
+_DISABLE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\-]+)")
+
+
+def suppressions_for(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule tokens disabled there."""
+    table: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _DISABLE.search(line)
+        if match:
+            tokens = {token.strip() for token in match.group(1).split(",") if token.strip()}
+            if tokens:
+                table[number] = tokens
+    return table
+
+
+def is_suppressed(finding: Finding, table: Dict[int, Set[str]]) -> bool:
+    tokens = table.get(finding.line)
+    if not tokens:
+        return False
+    return "all" in tokens or finding.rule in tokens or finding.name in tokens
+
+
+def filter_suppressed(findings: List[Finding], lines: List[str]) -> List[Finding]:
+    table = suppressions_for(lines)
+    if not table:
+        return findings
+    return [finding for finding in findings if not is_suppressed(finding, table)]

@@ -1,0 +1,198 @@
+"""Engine-level reprolint tests: suppression comments, the baseline
+round-trip, reporters, rule selection, CLI exit codes, and the gate the
+repo itself must pass (``python -m repro.lint src`` exits 0).
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import baseline as baseline_module
+from repro.lint.engine import Finding, select_rules
+from repro.lint.report import render_json, render_text
+from repro.lint.runner import lint_paths, lint_source, main
+from repro.lint.suppress import suppressions_for
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+VIOLATION = textwrap.dedent(
+    """
+    def remember(cache, obj, value):
+        cache[id(obj)] = value
+    """
+)
+
+
+def write_fixture(tmp_path, source=VIOLATION, name="bad.py"):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+class TestSuppression:
+    def test_disable_comment_suppresses_its_line(self):
+        source = "def f(cache, obj):\n    return cache[id(obj)]  # reprolint: disable=REP002\n"
+        assert lint_source(source, "repro/core/x.py") == []
+
+    def test_disable_by_slug_and_all(self):
+        by_slug = "def f(c, o):\n    return c[id(o)]  # reprolint: disable=no-id-keyed-cache\n"
+        by_all = "def f(c, o):\n    return c[id(o)]  # reprolint: disable=all\n"
+        assert lint_source(by_slug, "repro/core/x.py") == []
+        assert lint_source(by_all, "repro/core/x.py") == []
+
+    def test_wrong_rule_does_not_suppress(self):
+        source = "def f(c, o):\n    return c[id(o)]  # reprolint: disable=REP001\n"
+        assert [f.rule for f in lint_source(source, "repro/core/x.py")] == ["REP002"]
+
+    def test_comment_governs_only_its_own_line(self):
+        source = (
+            "# reprolint: disable=REP002\n"
+            "def f(c, o):\n"
+            "    return c[id(o)]\n"
+        )
+        assert [f.rule for f in lint_source(source, "repro/core/x.py")] == ["REP002"]
+
+    def test_suppression_table_parses_rule_lists(self):
+        table = suppressions_for(["x = 1  # reprolint: disable=REP001,REP004 -- why"])
+        assert table == {1: {"REP001", "REP004"}}
+
+
+class TestBaseline:
+    def test_round_trip_filters_known_findings(self, tmp_path):
+        fixture = write_fixture(tmp_path)
+        findings, lines_by_path, _ = lint_paths([fixture])
+        assert findings, "fixture must produce findings"
+        baseline_path = tmp_path / "baseline.json"
+        baseline_module.save(baseline_path, findings, lines_by_path)
+        entries = baseline_module.load(baseline_path)
+        kept, dropped = baseline_module.filter_baselined(findings, entries, lines_by_path)
+        assert kept == []
+        assert dropped == len(findings)
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        fixture = write_fixture(tmp_path)
+        findings, lines_by_path, _ = lint_paths([fixture])
+        baseline_path = tmp_path / "baseline.json"
+        baseline_module.save(baseline_path, findings, lines_by_path)
+        # Shift the violation down two lines; the fingerprint hashes the
+        # stripped line text, so the entry still matches.
+        fixture.write_text("# a comment\n# another\n" + fixture.read_text())
+        moved, moved_lines, _ = lint_paths([fixture])
+        entries = baseline_module.load(baseline_path)
+        kept, dropped = baseline_module.filter_baselined(moved, entries, moved_lines)
+        assert kept == []
+        assert dropped == len(moved)
+
+    def test_new_findings_escape_the_baseline(self, tmp_path):
+        fixture = write_fixture(tmp_path)
+        findings, lines_by_path, _ = lint_paths([fixture])
+        baseline_path = tmp_path / "baseline.json"
+        baseline_module.save(baseline_path, findings, lines_by_path)
+        fixture.write_text(fixture.read_text() + "\ndef g(c, o):\n    return c.get(id(o))\n")
+        grown, grown_lines, _ = lint_paths([fixture])
+        entries = baseline_module.load(baseline_path)
+        kept, _ = baseline_module.filter_baselined(grown, entries, grown_lines)
+        assert len(kept) == 1
+        assert kept[0].line > max(f.line for f in findings)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            baseline_module.load(bad)
+
+    def test_shipped_baseline_is_empty(self):
+        entries = baseline_module.load(REPO_ROOT / "reprolint-baseline.json")
+        assert entries == {}
+
+
+class TestReporters:
+    FINDINGS = [
+        Finding(rule="REP002", name="no-id-keyed-cache", path="a.py", line=3, col=4, message="m")
+    ]
+
+    def test_text_lists_findings_and_summary(self):
+        text = render_text(self.FINDINGS, files_scanned=2, baselined=1)
+        assert "a.py:3:5: REP002[no-id-keyed-cache] m" in text
+        assert "1 finding(s) in 2 file(s)" in text
+        assert "1 baselined" in text
+
+    def test_text_clean_summary(self):
+        assert "clean (3 file(s) scanned)" in render_text([], files_scanned=3)
+
+    def test_json_payload_is_machine_readable(self):
+        payload = json.loads(render_json(self.FINDINGS, files_scanned=2, baselined=0))
+        assert payload["files_scanned"] == 2
+        assert payload["findings"][0]["rule"] == "REP002"
+        assert payload["findings"][0]["line"] == 3
+
+
+class TestRuleSelection:
+    def test_select_by_id_and_name(self):
+        assert [r.id for r in select_rules(["REP002"])] == ["REP002"]
+        assert [r.name for r in select_rules(["rng-discipline"])] == ["rng-discipline"]
+
+    def test_ignore_removes_rules(self):
+        ids = [r.id for r in select_rules(ignore=["REP002"])]
+        assert "REP002" not in ids and ids
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ValueError):
+            select_rules(["REP404"])
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = write_fixture(tmp_path, "def f():\n    return 1\n", name="ok.py")
+        assert main([str(clean), "--no-baseline"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        fixture = write_fixture(tmp_path)
+        assert main([str(fixture), "--no-baseline"]) == 1
+        assert "REP002" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        fixture = write_fixture(tmp_path)
+        assert main([str(fixture), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+
+    def test_unknown_rule_and_missing_path_exit_two(self, tmp_path, capsys):
+        assert main(["--select", "REP404", str(tmp_path)]) == 2
+        assert main([str(tmp_path / "nope")]) == 2
+        capsys.readouterr()
+
+    def test_select_skips_other_rules(self, tmp_path, capsys):
+        fixture = write_fixture(tmp_path)
+        assert main([str(fixture), "--no-baseline", "--select", "REP001"]) == 0
+        capsys.readouterr()
+
+    def test_update_baseline_then_gate_passes(self, tmp_path, capsys):
+        fixture = write_fixture(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        assert main([str(fixture), "--baseline", str(baseline_path), "--update-baseline"]) == 0
+        assert main([str(fixture), "--baseline", str(baseline_path)]) == 0
+        assert "baselined" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP006"):
+            assert rule_id in out
+
+    def test_repro_cli_lint_subcommand(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["lint", "--list-rules"]) == 0
+        assert "REP001" in capsys.readouterr().out
+
+
+class TestSelfCheck:
+    def test_shipped_tree_is_clean(self, capsys):
+        """The repo's own src/ passes its own linter (the CI gate)."""
+        assert main([str(REPO_ROOT / "src"), "--no-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out

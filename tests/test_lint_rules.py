@@ -1,0 +1,320 @@
+"""Fixture tests for every reprolint rule: one failing and one passing
+source per invariant, linted through the public ``lint_source`` entry.
+
+Paths are fake but package-scoped rules key off them (``repro/core/...``
+is in scope for REP001/REP004/REP006; ``repro/analysis/...`` is not),
+so each fixture pins both the detection and the scoping.
+"""
+
+import textwrap
+
+from repro.lint.engine import all_rules
+from repro.lint.runner import lint_source
+
+CORE = "src/repro/core/fixture.py"
+ANALYSIS = "src/repro/analysis/fixture.py"
+
+
+def lint(source, path=CORE):
+    return lint_source(textwrap.dedent(source), path)
+
+
+def rules_hit(source, path=CORE):
+    return {finding.rule for finding in lint(source, path)}
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        ids = [rule.id for rule in all_rules()]
+        assert ids == sorted(ids)
+        for expected in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert expected in ids
+
+    def test_rules_have_summaries(self):
+        assert all(rule.summary for rule in all_rules())
+
+    def test_syntax_error_reports_parse_finding(self):
+        findings = lint("def broken(:\n    pass\n")
+        assert [f.rule for f in findings] == ["REP999"]
+
+
+class TestRep001RngDiscipline:
+    def test_flags_stdlib_random_import(self):
+        assert "REP001" in rules_hit("import random\n")
+        assert "REP001" in rules_hit("from random import shuffle\n")
+
+    def test_flags_global_numpy_random(self):
+        assert "REP001" in rules_hit(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.uniform(0, 1)
+            """
+        )
+
+    def test_flags_unseeded_default_rng(self):
+        assert "REP001" in rules_hit(
+            """
+            from numpy.random import default_rng
+
+            def make():
+                return default_rng()
+            """
+        )
+
+    def test_flags_wall_clock(self):
+        assert "REP001" in rules_hit(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+
+    def test_allows_seeded_generators(self):
+        assert "REP001" not in rules_hit(
+            """
+            import numpy as np
+
+            def make(seed):
+                rng = np.random.default_rng(seed)
+                key = np.random.Philox(key=seed)
+                return rng, key
+            """
+        )
+
+    def test_out_of_scope_package_is_ignored(self):
+        assert "REP001" not in rules_hit("import random\n", path=ANALYSIS)
+
+
+class TestRep002IdKeyedCache:
+    def test_flags_subscript_key(self):
+        assert "REP002" in rules_hit(
+            """
+            def remember(cache, obj, value):
+                cache[id(obj)] = value
+            """
+        )
+
+    def test_flags_get_key(self):
+        assert "REP002" in rules_hit(
+            """
+            def lookup(cache, obj):
+                return cache.get(id(obj))
+            """
+        )
+
+    def test_flags_membership_and_dict_literal(self):
+        assert "REP002" in rules_hit(
+            """
+            def seen(table, obj):
+                return id(obj) in table
+            """
+        )
+        assert "REP002" in rules_hit(
+            """
+            def build(obj):
+                return {id(obj): obj}
+            """
+        )
+
+    def test_flags_map_id(self):
+        assert "REP002" in rules_hit(
+            """
+            def key_of(configs):
+                return tuple(map(id, configs))
+            """
+        )
+
+    def test_allows_non_key_uses(self):
+        assert "REP002" not in rules_hit(
+            """
+            class Interned:
+                def __hash__(self):
+                    return id(self)
+
+            def debug(obj):
+                print(id(obj))
+            """
+        )
+
+
+class TestRep003PoolPickleSafety:
+    def test_flags_lambda_submission(self):
+        assert "REP003" in rules_hit(
+            """
+            def fan_out(pool):
+                return pool.submit(lambda: 1)
+            """
+        )
+
+    def test_flags_closure_submission(self):
+        assert "REP003" in rules_hit(
+            """
+            def fan_out(pool, day):
+                def work():
+                    return day * 2
+
+                return pool.submit(work)
+            """
+        )
+
+    def test_flags_lock_holder_without_getstate(self):
+        assert "REP003" in rules_hit(
+            """
+            import threading
+
+            class Holder:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """
+        )
+
+    def test_allows_module_level_task_and_guarded_class(self):
+        assert "REP003" not in rules_hit(
+            """
+            import threading
+
+            def _work_task(task):
+                return task
+
+            class Guarded:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def __getstate__(self):
+                    raise TypeError("Guarded holds a lock; rebuild worker-side")
+
+            def fan_out(pool, task):
+                return pool.submit(_work_task, task)
+            """
+        )
+
+
+class TestRep004ShmReadonly:
+    def test_flags_subscript_write_through_state(self):
+        assert "REP004" in rules_hit(
+            """
+            def _replay_task(task, state=None):
+                arrays = state.tables
+                arrays[0] = 1
+            """
+        )
+
+    def test_flags_mutating_method_and_out_kwarg(self):
+        assert "REP004" in rules_hit(
+            """
+            def _score_task(task, state=None):
+                state.buffer.fill(0)
+            """
+        )
+        assert "REP004" in rules_hit(
+            """
+            import numpy as np
+
+            def _sum_task(task, state=None):
+                np.add(state.a, state.b, out=state.a)
+            """
+        )
+
+    def test_allows_fresh_local_arrays_and_copies(self):
+        assert "REP004" not in rules_hit(
+            """
+            import numpy as np
+
+            def _score_task(task, state=None):
+                local = np.zeros(4)
+                local[0] = 1
+                rows = state.table.copy()
+                rows[0] = 2
+                return local, rows
+            """
+        )
+
+    def test_non_worker_functions_are_ignored(self):
+        assert "REP004" not in rules_hit(
+            """
+            def refresh(self, state=None):
+                state.tables[0] = 1
+            """
+        )
+
+
+class TestRep005MutateWithoutRestore:
+    def test_flags_unprotected_rhs_mutation_before_solve(self):
+        assert "REP005" in rules_hit(
+            """
+            def solve_day(self, counts):
+                self.block.rhs[:] = counts
+                return self.session.solve()
+            """
+        )
+
+    def test_allows_solve_inside_try(self):
+        assert "REP005" not in rules_hit(
+            """
+            def solve_day(self, counts):
+                saved = self.block.rhs.copy()
+                self.block.rhs[:] = counts
+                try:
+                    return self.session.solve()
+                except Exception:
+                    self.block.rhs[:] = saved
+                    raise
+            """
+        )
+
+    def test_allows_persistent_rhs_install_without_solve(self):
+        assert "REP005" not in rules_hit(
+            """
+            def refresh_capacity_rhs(self, counts):
+                self.block.rhs[:] = counts
+            """
+        )
+
+
+class TestRep006UnorderedIteration:
+    def test_flags_for_over_set_literal(self):
+        assert "REP006" in rules_hit(
+            """
+            def walk(a, b):
+                for item in {a, b}:
+                    yield item
+            """
+        )
+
+    def test_flags_comprehension_and_materializer(self):
+        assert "REP006" in rules_hit(
+            """
+            def configs(items):
+                return [c for c in set(items)]
+            """
+        )
+        assert "REP006" in rules_hit(
+            """
+            import numpy as np
+
+            def pack(items):
+                return np.array({1, 2})
+            """
+        )
+
+    def test_allows_sorted_sets(self):
+        assert "REP006" not in rules_hit(
+            """
+            def configs(tables):
+                return sorted({c for t in tables for c in t}, key=str)
+            """
+        )
+
+    def test_out_of_scope_package_is_ignored(self):
+        assert "REP006" not in rules_hit(
+            """
+            def walk(a, b):
+                for item in {a, b}:
+                    yield item
+            """,
+            path=ANALYSIS,
+        )
