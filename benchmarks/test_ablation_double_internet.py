@@ -6,7 +6,9 @@ from repro.experiments.eval_exps import run_ablation_double_internet
 
 
 def test_ablation_double_internet(benchmark, eval_setup):
-    result = benchmark.pedantic(run_ablation_double_internet, kwargs={"setup": eval_setup}, rounds=1)
+    result = benchmark.pedantic(
+        run_ablation_double_internet, kwargs={"setup": eval_setup}, rounds=1
+    )
     emit(result)
     measured = result.measured
     # More Internet capacity, (weakly) more savings.

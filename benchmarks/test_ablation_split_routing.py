@@ -12,4 +12,7 @@ def test_ablation_split_routing(benchmark, eval_setup):
     # Split routing can never be worse than the single-option LP (its
     # feasible region strictly contains the single-option region at the
     # aggregate level), and the latency constraint is weaker.
-    assert measured["split_routing_sum_of_peaks"] <= measured["single_option_sum_of_peaks"] * (1 + 1e-6)
+    assert (
+        measured["split_routing_sum_of_peaks"]
+        <= measured["single_option_sum_of_peaks"] * (1 + 1e-6)
+    )

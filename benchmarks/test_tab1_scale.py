@@ -6,7 +6,9 @@ from repro.experiments.measurement_exps import run_tab1
 
 
 def test_tab1_scale(benchmark):
-    result = benchmark.pedantic(run_tab1, kwargs={"probes_per_country_hour": 4, "hours": 24}, rounds=1)
+    result = benchmark.pedantic(
+        run_tab1, kwargs={"probes_per_country_hour": 4, "hours": 24}, rounds=1
+    )
     emit(result)
     # Same schema as the paper's Table 1, at our synthetic scale.
     assert result.measured["destination_dcs"] == 21

@@ -26,9 +26,9 @@ Quickstart::
         print(name, result.sum_of_peaks_gbps)
 """
 
-__version__ = "1.0.0"
-
 from . import analysis, core, geo, measurement, net, solver, telemetry, workload
+
+__version__ = "1.0.0"
 
 __all__ = [
     "analysis",

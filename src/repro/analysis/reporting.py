@@ -7,7 +7,7 @@ consistent everywhere.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 from .metrics import EvaluationResult, normalize_to
 

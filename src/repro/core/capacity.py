@@ -13,8 +13,8 @@ Gbps estimate derived from the pair's typical traffic volume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
 
 
 @dataclass

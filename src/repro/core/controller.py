@@ -31,14 +31,13 @@ Each controller has two processing paths over one sample stream:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..net.latency import INTERNET, WAN
 from ..workload.configs import CallConfig
-from ..workload.media import VIDEO
 from ..workload.traces import Call, CallTable
 from .plan import OfflinePlan, QuotaIndex
 from .scenario import Scenario
@@ -691,7 +690,9 @@ class FirstJoinerWrr:
             dc, option = keys[idx]
             if not self.tracker.compute_headroom(dc, call.start_slot, cores):
                 continue
-            if option == INTERNET and not self.tracker.internet_headroom(call.config, dc, call.start_slot):
+            if option == INTERNET and not self.tracker.internet_headroom(
+                call.config, dc, call.start_slot
+            ):
                 continue
             self.tracker.admit(call.config, dc, option, call)
             return CallAssignment(call, dc, option, dc, option)
@@ -770,7 +771,9 @@ class FirstJoinerWrr:
                 initial_dc[i] = d
         self.stats.calls += n
         self.stats.unplanned += unplanned
-        return AssignmentBatch(table, initial_dc, option_idx, initial_dc.copy(), option_idx.copy(), dc_codes)
+        return AssignmentBatch(
+            table, initial_dc, option_idx, initial_dc.copy(), option_idx.copy(), dc_codes
+        )
 
 
 class FirstJoinerLf:
@@ -791,7 +794,9 @@ class FirstJoinerLf:
             for dc in self.scenario.dc_codes:
                 buckets.append(((dc, WAN), self.scenario.one_way_ms(country, dc, WAN)))
                 if self.scenario.internet_fraction(country, dc) > 0:
-                    buckets.append(((dc, INTERNET), self.scenario.one_way_ms(country, dc, INTERNET)))
+                    buckets.append(
+                        ((dc, INTERNET), self.scenario.one_way_ms(country, dc, INTERNET))
+                    )
             buckets.sort(key=lambda kv: kv[1])
             cached = [key for key, _ in buckets]
             self._bucket_cache[country] = cached
@@ -803,7 +808,9 @@ class FirstJoinerLf:
         for dc, option in self._sorted_buckets(call.first_joiner_country):
             if not self.tracker.compute_headroom(dc, call.start_slot, cores):
                 continue
-            if option == INTERNET and not self.tracker.internet_headroom(call.config, dc, call.start_slot):
+            if option == INTERNET and not self.tracker.internet_headroom(
+                call.config, dc, call.start_slot
+            ):
                 continue
             self.tracker.admit(call.config, dc, option, call)
             return CallAssignment(call, dc, option, dc, option)
@@ -856,7 +863,9 @@ class FirstJoinerLf:
                 initial_dc[i] = overflow_dc
         self.stats.calls += n
         self.stats.unplanned += unplanned
-        return AssignmentBatch(table, initial_dc, option_idx, initial_dc.copy(), option_idx.copy(), dc_codes)
+        return AssignmentBatch(
+            table, initial_dc, option_idx, initial_dc.copy(), option_idx.copy(), dc_codes
+        )
 
 
 class FirstJoinerTitan:

@@ -13,7 +13,7 @@ scorecard that flags regressions against configurable quality gates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional
 
 import numpy as np
 

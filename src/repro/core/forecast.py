@@ -20,7 +20,7 @@ provided as helpers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -214,8 +214,12 @@ class HoltWinters:
             trend = beta * (new_level - level) + (1 - beta) * trend
             seasonals[:, season_idx] = gamma * (value - new_level) + (1 - gamma) * season
             level = new_level
-        full = lambda v: np.full(n, v)
-        return FitManyResult(full(alpha), full(beta), full(gamma), level, trend, seasonals, m, sse, steps)
+        def full(v):
+            return np.full(n, v)
+
+        return FitManyResult(
+            full(alpha), full(beta), full(gamma), level, trend, seasonals, m, sse, steps
+        )
 
     def fit_many(self, series_matrix) -> FitManyResult:
         """Fit every row of an ``(n, T)`` history matrix in one batch.

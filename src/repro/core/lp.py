@@ -33,12 +33,12 @@ churn, no string-keyed lookups.  The original scalar builder is kept as
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..geo.world import stable_hash
-from ..net.latency import INTERNET, ROUTING_OPTIONS, WAN
+from ..net.latency import INTERNET, WAN
 from ..solver.model import ConstraintBlock, LinearProgram, LinExpr, Solution
 from ..workload.configs import CallConfig
 from .scenario import Scenario
@@ -478,7 +478,12 @@ class JointAssignmentLp:
                         ]
                     )
                     artifacts.c3_block = lp.add_constraint_block(
-                        rows, inet, total_bw[col_cfg[inet]], "<=", per_dc_cap[uniq % n_dc], name="C3"
+                        rows,
+                        inet,
+                        total_bw[col_cfg[inet]],
+                        "<=",
+                        per_dc_cap[uniq % n_dc],
+                        name="C3",
                     )
                     artifacts.c3_slot = uniq // n_dc
                     artifacts.c3_country = np.full(uniq.size, -1, dtype=np.int64)
@@ -573,7 +578,9 @@ class JointAssignmentLp:
         var_names: Dict[Tuple[int, CallConfig, str, str], str] = {}
 
         x_vars: Dict[Tuple[int, CallConfig, str, str], object] = {}
-        for (t, config), count in sorted(self.demand.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))):
+        for (t, config), count in sorted(
+            self.demand.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+        ):
             for dc in self._allowed_dcs(config):
                 for option in self._allowed_options(config, dc):
                     name = f"x[{t}][{config}][{dc}][{option}]"

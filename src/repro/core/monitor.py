@@ -14,14 +14,14 @@ statistic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from ..geo.coords import haversine_km
 from ..geo.world import World
-from ..net.latency import INTERNET, WAN, LatencyModel
+from ..net.latency import INTERNET, LatencyModel
 from ..net.loss import LossModel
 
 

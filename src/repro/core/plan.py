@@ -19,7 +19,7 @@ Two access paths share one sampling primitive (:func:`weighted_pick`):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -126,7 +126,9 @@ class OfflinePlan:
         pick = weighted_pick([w for _, w in buckets], float(rng.random()))
         return buckets[pick][0]
 
-    def consume(self, slot: int, config: CallConfig, dc: str, option: str, amount: float = 1.0) -> bool:
+    def consume(
+        self, slot: int, config: CallConfig, dc: str, option: str, amount: float = 1.0
+    ) -> bool:
         """Decrement a bucket's remaining quota; False if exhausted."""
         entry = self._entries.get((slot, config))
         if entry is None:
@@ -138,7 +140,9 @@ class OfflinePlan:
         entry.buckets[key] = remaining - amount
         return True
 
-    def refund(self, slot: int, config: CallConfig, dc: str, option: str, amount: float = 1.0) -> None:
+    def refund(
+        self, slot: int, config: CallConfig, dc: str, option: str, amount: float = 1.0
+    ) -> None:
         """Return quota to a bucket (undo a tentative :meth:`consume`)."""
         entry = self._entries.setdefault((slot, config), PlanEntry())
         key = (dc, option)

@@ -91,7 +91,9 @@ class RollingPlanner:
                 reuse_basis=True,
             )
 
-    def _remaining_demand(self, demand: DemandTable, from_slot: int) -> Dict[Tuple[int, CallConfig], float]:
+    def _remaining_demand(
+        self, demand: DemandTable, from_slot: int
+    ) -> Dict[Tuple[int, CallConfig], float]:
         return {(t, c): v for (t, c), v in demand.items() if t >= from_slot and v > 0}
 
     def replan(self, demand: DemandTable, from_slot: int) -> bool:

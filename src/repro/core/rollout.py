@@ -131,7 +131,12 @@ class GranularRollout:
                 state.history.append(state.stage if not state.parked else "parked")
                 continue
             rng = np.random.default_rng(
-                (self.seed, stable_hash(state.country_code), stable_hash(state.dc_code), self._round)
+                (
+                    self.seed,
+                    stable_hash(state.country_code),
+                    stable_hash(state.dc_code),
+                    self._round,
+                )
             )
             card = self._evaluate_stage(state, rng)
             if card.severe_regression:
@@ -163,7 +168,11 @@ class GranularRollout:
 
     def ready_for_percentage_ramp(self) -> List[Tuple[str, str]]:
         """Pairs that reached country level — hand these to Titan."""
-        return [key for key, state in self.states.items() if state.at_country_level and not state.parked]
+        return [
+            key
+            for key, state in self.states.items()
+            if state.at_country_level and not state.parked
+        ]
 
     def parked_pairs(self) -> List[Tuple[str, str]]:
         return [key for key, state in self.states.items() if state.parked]

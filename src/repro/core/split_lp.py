@@ -24,7 +24,7 @@ part of the prototype's contract.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..net.latency import INTERNET, WAN
 from ..solver.model import LinearProgram, LinExpr
@@ -99,7 +99,9 @@ class SplitRoutingLp:
 
         x_vars: Dict[SplitKey, object] = {}
         z_vars: Dict[Tuple[int, CallConfig, str, str], object] = {}
-        for (t, config), count in sorted(self.demand.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))):
+        for (t, config), count in sorted(
+            self.demand.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+        ):
             for dc in scenario.dc_codes:
                 x = lp.add_variable(f"x[{t}][{config}][{dc}]")
                 x_vars[(t, config, dc)] = x

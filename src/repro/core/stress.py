@@ -37,7 +37,7 @@ Event slots are slot-of-day (0..slots_per_day-1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -66,7 +66,9 @@ class StressEvent:
     def demand_factor(self, config: CallConfig) -> float:
         return 1.0
 
-    def internet_factor(self, country_code: Optional[str], dc_code: str, scenario: Scenario) -> float:
+    def internet_factor(
+        self, country_code: Optional[str], dc_code: str, scenario: Scenario
+    ) -> float:
         return 1.0
 
     def compute_factor(self, dc_code: str) -> float:
@@ -106,7 +108,9 @@ class FiberCutEvent(StressEvent):
     def link_key(self) -> FrozenSet[str]:
         return frozenset((self.node_a, self.node_b))
 
-    def internet_factor(self, country_code: Optional[str], dc_code: str, scenario: Scenario) -> float:
+    def internet_factor(
+        self, country_code: Optional[str], dc_code: str, scenario: Scenario
+    ) -> float:
         if country_code is None:
             return 1.0
         links = scenario._links.get((country_code, dc_code), ())
@@ -132,7 +136,9 @@ class DcOutageEvent(StressEvent):
     def __post_init__(self) -> None:
         self._check_window()
 
-    def internet_factor(self, country_code: Optional[str], dc_code: str, scenario: Scenario) -> float:
+    def internet_factor(
+        self, country_code: Optional[str], dc_code: str, scenario: Scenario
+    ) -> float:
         return 0.0 if dc_code == self.dc_code else 1.0
 
     def compute_factor(self, dc_code: str) -> float:

@@ -22,7 +22,7 @@ that Titan-Next's LP consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -165,7 +165,9 @@ class Titan:
         self.params = params if params is not None else TitanParams()
         self.capacity_book = capacity_book if capacity_book is not None else InternetCapacityBook()
         self.seed = seed
-        self._pair_traffic_gbps = pair_traffic_gbps if pair_traffic_gbps is not None else (lambda c, d: 1.0)
+        self._pair_traffic_gbps = (
+            pair_traffic_gbps if pair_traffic_gbps is not None else (lambda c, d: 1.0)
+        )
         self.ramps: Dict[Tuple[str, str], PairRamp] = {}
         for country_code, dc_code in pairs:
             world.country(country_code)
@@ -260,7 +262,12 @@ class Titan:
         for key in sorted(self.ramps):
             ramp = self.ramps[key]
             rng = np.random.default_rng(
-                (self.seed, stable_hash(ramp.country_code), stable_hash(ramp.dc_code), self._eval_index)
+                (
+                    self.seed,
+                    stable_hash(ramp.country_code),
+                    stable_hash(ramp.dc_code),
+                    self._eval_index,
+                )
             )
             if ramp.state != DISABLED:
                 card = self._run_experiment(ramp, slot, rng)

@@ -6,13 +6,14 @@ doubled Internet, LF-E2E variant, single-DC restriction).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..analysis.metrics import evaluate_batch, normalize_to, savings_vs
+from ..analysis.metrics import evaluate_batch, normalize_to
 from ..core.forecast import forecast_day, normalized_errors
 from ..core.lp import JointAssignmentLp, JointLpOptions
+from ..core.sweep import SweepRunner
 from ..core.titan_next import (
     EuropeSetup,
     build_europe_setup,
@@ -20,10 +21,8 @@ from ..core.titan_next import (
     oracle_demand_for_day,
     run_oracle_day,
     run_oracle_week,
-    run_prediction_day,
     run_prediction_window,
 )
-from ..core.sweep import SweepRunner
 from ..workload.demand import SLOTS_PER_DAY
 from .base import ExperimentResult
 
@@ -331,7 +330,9 @@ def run_tab4(setup: Optional[EuropeSetup] = None, day: int = 30) -> ExperimentRe
             "migration_rate_with_reduced": round(reduced_dc, 3),
             "migration_rate_with_raw": round(raw_dc, 3),
             "migration_reduction": round(reduction, 3),
-            "option_migration_rate_with_reduced": round(rates["reduced"]["option_migration_rate"], 3),
+            "option_migration_rate_with_reduced": round(
+                rates["reduced"]["option_migration_rate"], 3
+            ),
             "unplanned_rate_with_reduced": round(rates["reduced"]["unplanned_rate"], 3),
         },
         paper={
@@ -367,7 +368,9 @@ def run_ablation_mp_only(setup: Optional[EuropeSetup] = None, day: int = 2) -> E
         title="Savings with only MP DC placement (no Internet offload)",
         measured={
             "tn_full_savings_vs_wrr": round(1 - full.sum_of_peaks_gbps / wrr.sum_of_peaks_gbps, 3),
-            "tn_mp_only_savings_vs_wrr": round(1 - mp_only.sum_of_peaks_gbps / wrr.sum_of_peaks_gbps, 3),
+            "tn_mp_only_savings_vs_wrr": round(
+                1 - mp_only.sum_of_peaks_gbps / wrr.sum_of_peaks_gbps, 3
+            ),
         },
         paper={
             "tn_full_savings_vs_wrr": "0.24-0.28",
@@ -376,7 +379,9 @@ def run_ablation_mp_only(setup: Optional[EuropeSetup] = None, day: int = 2) -> E
     )
 
 
-def run_ablation_double_internet(setup: Optional[EuropeSetup] = None, day: int = 2) -> ExperimentResult:
+def run_ablation_double_internet(
+    setup: Optional[EuropeSetup] = None, day: int = 2
+) -> ExperimentResult:
     """§7.4 — savings if Internet capacities were doubled."""
     setup = setup if setup is not None else default_setup()
     demand = oracle_demand_for_day(setup, day)
@@ -386,7 +391,9 @@ def run_ablation_double_internet(setup: Optional[EuropeSetup] = None, day: int =
     base = evaluate_batch(setup.scenario, TitanNextPolicy(setup.scenario).assign(demand), "tn")
     doubled = evaluate_batch(
         setup.scenario,
-        TitanNextPolicy(setup.scenario, JointLpOptions(internet_capacity_factor=2.0)).assign(demand),
+        TitanNextPolicy(
+            setup.scenario, JointLpOptions(internet_capacity_factor=2.0)
+        ).assign(demand),
         "tn-2x",
     )
     return ExperimentResult(
@@ -448,7 +455,9 @@ def run_ablation_single_dc(setup: Optional[EuropeSetup] = None, day: int = 2) ->
     )
 
 
-def run_ablation_split_routing(setup: Optional[EuropeSetup] = None, day: int = 2) -> ExperimentResult:
+def run_ablation_split_routing(
+    setup: Optional[EuropeSetup] = None, day: int = 2
+) -> ExperimentResult:
     """Future work (§6.3): per-participant split routing.
 
     The fractional single-option LP already splits traffic at the
@@ -483,7 +492,9 @@ def run_ablation_split_routing(setup: Optional[EuropeSetup] = None, day: int = 2
     )
 
 
-def run_ablation_fiber_cut(day: int = 2, daily_calls: float = 6_000.0, top_n_configs: int = 60) -> ExperimentResult:
+def run_ablation_fiber_cut(
+    day: int = 2, daily_calls: float = 6_000.0, top_n_configs: int = 60
+) -> ExperimentResult:
     """§4.2(7) — a WAN fiber cut and the Internet as a fall-back.
 
     Cuts a backbone link on the UK corridor, re-derives the WAN routes,

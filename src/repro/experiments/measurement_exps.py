@@ -31,7 +31,9 @@ def _model(world: Optional[World] = None) -> LatencyModel:
 def run_tab1(probes_per_country_hour: int = 6, hours: int = 24) -> ExperimentResult:
     """Table 1 — scale of the measurement campaign (our scaled rig)."""
     world = default_world()
-    campaign = MeasurementCampaign(world, _model(world), probes_per_country_hour=probes_per_country_hour)
+    campaign = MeasurementCampaign(
+        world, _model(world), probes_per_country_hour=probes_per_country_hour
+    )
     _, stats = campaign.run(hours)
     return ExperimentResult(
         experiment_id="tab1",
@@ -80,15 +82,20 @@ def run_fig4(hours: int = 168, epoch: str = "jun24") -> ExperimentResult:
         "cells": len(errors),
         "mean_abs_error_vs_paper": float(np.mean(errors)),
         "max_abs_error_vs_paper": float(np.max(errors)),
-        "sample_row_westeurope": {c: round(heatmap["westeurope"][c], 2) for c in ("US", "GB", "DE", "FR", "SG")},
+        "sample_row_westeurope": {
+            c: round(heatmap["westeurope"][c], 2) for c in ("US", "GB", "DE", "FR", "SG")
+        },
     }
     return ExperimentResult(
         experiment_id="fig4" if epoch == "jun24" else "fig19",
         title=f"Fraction F heatmap ({epoch})",
         measured=summary,
-        paper={"sample_row_westeurope": {
-            c: paper_fraction_f(c, "westeurope", epoch=epoch) for c in ("US", "GB", "DE", "FR", "SG")
-        }},
+        paper={
+            "sample_row_westeurope": {
+                c: paper_fraction_f(c, "westeurope", epoch=epoch)
+                for c in ("US", "GB", "DE", "FR", "SG")
+            }
+        },
     )
 
 

@@ -9,7 +9,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..geo.world import World, default_world
+from ..geo.world import default_world
 from ..net.elasticity import ElasticityModel
 from ..net.latency import INTERNET, WAN, LatencyModel
 from ..net.loss import SLOTS_PER_WEEK, LossModel
@@ -56,7 +56,9 @@ def run_fig7(days: int = 7) -> ExperimentResult:
     world = default_world()
     loss = LossModel(world)
     hours = days * 24
-    internet = np.array([loss.hourly_loss_pct("FR", "westeurope", INTERNET, h) for h in range(hours)])
+    internet = np.array(
+        [loss.hourly_loss_pct("FR", "westeurope", INTERNET, h) for h in range(hours)]
+    )
     wan = np.array([loss.hourly_loss_pct("FR", "westeurope", WAN, h) for h in range(hours)])
     spike_threshold = 0.02
     return ExperimentResult(
@@ -93,8 +95,9 @@ def run_fig8(fractions: Optional[List[float]] = None) -> ExperimentResult:
         rtt = base_rtt + elasticity.rtt_inflation_ms("GB", "westeurope", fraction)
         lo = base_loss + elasticity.loss_inflation_pct("GB", "westeurope", fraction)
         series[f"{int(fraction * 100)}%"] = {"rtt_ms": round(rtt, 1), "loss_pct": round(lo, 4)}
-    rtt_drift = series[f"{int(fractions[-1]*100)}%"]["rtt_ms"] - series[f"{int(fractions[0]*100)}%"]["rtt_ms"]
-    loss_drift = series[f"{int(fractions[-1]*100)}%"]["loss_pct"] - series[f"{int(fractions[0]*100)}%"]["loss_pct"]
+    first, last = f"{int(fractions[0] * 100)}%", f"{int(fractions[-1] * 100)}%"
+    rtt_drift = series[last]["rtt_ms"] - series[first]["rtt_ms"]
+    loss_drift = series[last]["loss_pct"] - series[first]["loss_pct"]
     return ExperimentResult(
         experiment_id="fig8",
         title="Elasticity: loss/RTT vs offload fraction (UK → NL)",
@@ -109,13 +112,18 @@ def run_fig11(samples_per_bucket: int = 400) -> ExperimentResult:
     rng = np.random.default_rng(101)
     curve = {}
     for latency in range(50, 251, 25):
-        curve[f"{latency}ms"] = round(mos.average_rating(float(latency), samples=samples_per_bucket, rng=rng), 3)
+        rating = mos.average_rating(float(latency), samples=samples_per_bucket, rng=rng)
+        curve[f"{latency}ms"] = round(rating, 3)
     knee_drop = curve["75ms"] - curve["50ms"]
     tail_drop = curve["250ms"] - curve["75ms"]
     return ExperimentResult(
         experiment_id="fig11",
         title="MOS vs max end-to-end latency",
-        measured={"curve": curve, "drop_below_knee": round(knee_drop, 3), "drop_beyond_knee": round(tail_drop, 3)},
+        measured={
+            "curve": curve,
+            "drop_below_knee": round(knee_drop, 3),
+            "drop_beyond_knee": round(tail_drop, 3),
+        },
         paper={
             "flat_until_ms": 75,
             "decay": "mostly linear, ~4.85 at 75ms to ~4.65 at 250ms",
@@ -163,8 +171,12 @@ def run_fig17() -> ExperimentResult:
     for country in eu:
         for dc in FIG6_DCS:
             rtt, lo = elasticity.measured_drift(country, dc)
-            rtt += elasticity.rtt_inflation_ms(country, dc, 0.20) - elasticity.rtt_inflation_ms(country, dc, 0.01)
-            lo += elasticity.loss_inflation_pct(country, dc, 0.20) - elasticity.loss_inflation_pct(country, dc, 0.01)
+            rtt += elasticity.rtt_inflation_ms(country, dc, 0.20) - elasticity.rtt_inflation_ms(
+                country, dc, 0.01
+            )
+            lo += elasticity.loss_inflation_pct(country, dc, 0.20) - elasticity.loss_inflation_pct(
+                country, dc, 0.01
+            )
             rtt_deltas.append(rtt)
             loss_deltas.append(lo)
     return ExperimentResult(

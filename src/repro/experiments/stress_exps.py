@@ -13,14 +13,16 @@ are checked against.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..core.stress import StressCampaignResult, StressTimeline, campaign_scenarios, run_campaign_day
 from .base import ExperimentResult
 from .eval_exps import default_setup
 
 
-def _campaign_measured(result: StressCampaignResult, baseline: StressCampaignResult) -> Dict[str, object]:
+def _campaign_measured(
+    result: StressCampaignResult, baseline: StressCampaignResult
+) -> Dict[str, object]:
     """The standard measured block: stressed day next to the clean day."""
     measured: Dict[str, object] = {
         "calls": int(result.stats.calls),
@@ -126,7 +128,8 @@ def run_stress_flash_crowd(setup=None, day: int = 2) -> ExperimentResult:
         },
         paper={
             "claim": "§6.4: load beyond the plan falls back gracefully instead of failing",
-            "expected": "surge day has infeasible rounds and a large overflow_rate; scoring completes",
+            "expected": "surge day has infeasible rounds and a large overflow_rate; "
+            "scoring completes",
         },
         notes="graceful degradation: infeasible replans keep the stale plan",
     )
@@ -155,7 +158,8 @@ def run_stress_demand_shock(setup=None, day: int = 2) -> ExperimentResult:
         "Campaign: correlated demand shock",
         "demand-shock",
         paper={
-            "claim": "correlated deviations break the independent-Poisson assumption the plan budgets for",
+            "claim": "correlated deviations break the independent-Poisson assumption "
+            "the plan budgets for",
             "expected": "replanning absorbs the shock once visible; overflow stays bounded",
         },
         notes="1.8x on every config for slots 14-38",

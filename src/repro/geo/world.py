@@ -188,23 +188,23 @@ ALL_DCS: Tuple[DataCenter, ...] = (
     _dc("us-east", "US East (Virginia)", "US", "north-america", 37.37, -79.82, 120_000),
     _dc("us-east2", "US East 2 (Virginia)", "US", "north-america", 36.67, -78.39, 90_000),
     _dc("us-central", "US Central (Iowa)", "US", "north-america", 41.59, -93.62, 100_000),
-    _dc("us-southcentral", "US South Central (Texas)", "US", "north-america", 29.42, -98.49, 80_000),
+    _dc("us-southcentral", "US South Central (Texas)", "US", "north-america", 29.42, -98.49, 80_000),  # noqa: E501
     _dc("us-west", "US West (California)", "US", "north-america", 37.78, -122.42, 90_000),
     _dc("us-west2", "US West 2 (Washington)", "US", "north-america", 47.23, -119.85, 80_000),
-    _dc("us-northcentral", "US North Central (Illinois)", "US", "north-america", 41.88, -87.63, 70_000),
+    _dc("us-northcentral", "US North Central (Illinois)", "US", "north-america", 41.88, -87.63, 70_000),  # noqa: E501
     _dc("brazil-south", "Brazil South (Sao Paulo)", "BR", "south-america", -23.55, -46.63, 40_000),
     _dc("uk-south", "UK South (London)", "GB", "europe", 51.51, -0.13, 80_000),
     _dc("france-central", "France Central (Paris)", "FR", "europe", 48.86, 2.35, 70_000),
     _dc("westeurope", "West Europe (Netherlands)", "NL", "europe", 52.37, 4.90, 100_000),
     _dc("switzerland-north", "Switzerland North (Zurich)", "CH", "europe", 47.38, 8.54, 40_000),
     _dc("ireland", "North Europe (Ireland)", "IE", "europe", 53.35, -6.26, 70_000),
-    _dc("southafrica-north", "South Africa North (Johannesburg)", "ZA", "africa", -26.20, 28.05, 30_000),
+    _dc("southafrica-north", "South Africa North (Johannesburg)", "ZA", "africa", -26.20, 28.05, 30_000),  # noqa: E501
     _dc("india-central", "Central India (Pune)", "IN", "asia", 18.52, 73.86, 60_000),
     _dc("japan-east", "Japan East (Tokyo)", "JP", "asia", 35.68, 139.65, 60_000),
     _dc("hongkong", "East Asia (Hong Kong)", "HK", "asia", 22.32, 114.17, 50_000),
     _dc("singapore", "Southeast Asia (Singapore)", "SG", "asia", 1.35, 103.82, 60_000),
     _dc("australia-east", "Australia East (Sydney)", "AU", "oceania", -33.87, 151.21, 50_000),
-    _dc("australia-southeast", "Australia Southeast (Melbourne)", "AU", "oceania", -37.81, 144.96, 40_000),
+    _dc("australia-southeast", "Australia Southeast (Melbourne)", "AU", "oceania", -37.81, 144.96, 40_000),  # noqa: E501
 )
 
 #: Fig 4's six representative destination DCs (orange triangles in Fig 2).
@@ -292,7 +292,9 @@ class World:
     def europe_dcs(self) -> List[DataCenter]:
         return [self._dcs[code] for code in EUROPE_DC_CODES if code in self._dcs]
 
-    def nearest_dc(self, point: GeoPoint, candidates: Optional[Sequence[DataCenter]] = None) -> DataCenter:
+    def nearest_dc(
+        self, point: GeoPoint, candidates: Optional[Sequence[DataCenter]] = None
+    ) -> DataCenter:
         from .coords import haversine_km
 
         pool = list(candidates) if candidates is not None else self.dcs
@@ -332,7 +334,12 @@ class World:
             offsets = rng.normal(0.0, 0.018, size=self._asns_per_country)
             base = 1000 + (stable_hash(country_code) & 0xFFF) * 10
             self._asns[country_code] = [
-                Asn(number=base + i, country_code=country_code, share=float(shares[i]), quality_offset=float(offsets[i]))
+                Asn(
+                    number=base + i,
+                    country_code=country_code,
+                    share=float(shares[i]),
+                    quality_offset=float(offsets[i]),
+                )
                 for i in range(self._asns_per_country)
             ]
         return list(self._asns[country_code])

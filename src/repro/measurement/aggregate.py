@@ -15,11 +15,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..geo.world import World
 from ..net.latency import INTERNET, WAN, LatencyModel
 from .probes import ProbeRecord
 
@@ -165,7 +164,10 @@ def longterm_latency_changes(
         for country in countries:
             for dc in dcs:
                 old = np.median(
-                    [model.hourly_median_rtt_ms(country, dc, option, h, 0) for h in range(0, hours, 4)]
+                    [
+                        model.hourly_median_rtt_ms(country, dc, option, h, 0)
+                        for h in range(0, hours, 4)
+                    ]
                 )
                 new = np.median(
                     [

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from ..geo.world import World, default_world
 from ..net.latency import INTERNET, WAN, LatencyModel, LatencyModelParams

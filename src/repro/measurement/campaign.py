@@ -10,7 +10,7 @@ fleet.  The result is a flat list of :class:`ProbeRecord` rows plus a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -98,7 +98,8 @@ class MeasurementCampaign:
                 rtt = self.sampler.sample_rtt_ms(
                     country.code, city, asn, vm, hour, rng, week_offset
                 )
-                subnet = f"{asn.number}.{int(rng.integers(0, 255))}.{int(rng.integers(0, 255))}.0/24"
+                octets = f"{int(rng.integers(0, 255))}.{int(rng.integers(0, 255))}"
+                subnet = f"{asn.number}.{octets}.0/24"
                 yield ProbeRecord(
                     hour=hour,
                     dc_code=vm.dc_code,

@@ -16,7 +16,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable, Iterator, List, Sequence, TextIO, Union
+from typing import Iterable, List, Sequence, TextIO, Union
 
 from .probes import ProbeRecord
 
@@ -36,7 +36,9 @@ CSV_COLUMNS = (
 def write_records(records: Iterable[ProbeRecord], target: Union[str, Path, TextIO]) -> int:
     """Write probe records as CSV; returns the number of rows written."""
     own_handle = isinstance(target, (str, Path))
-    handle: TextIO = open(target, "w", newline="") if own_handle else target  # type: ignore[arg-type]
+    handle: TextIO = (
+        open(target, "w", newline="") if own_handle else target  # type: ignore[arg-type]
+    )
     try:
         writer = csv.writer(handle)
         writer.writerow(CSV_COLUMNS)
@@ -64,7 +66,9 @@ def write_records(records: Iterable[ProbeRecord], target: Union[str, Path, TextI
 def read_records(source: Union[str, Path, TextIO]) -> List[ProbeRecord]:
     """Load probe records from a CSV produced by :func:`write_records`."""
     own_handle = isinstance(source, (str, Path))
-    handle: TextIO = open(source, "r", newline="") if own_handle else source  # type: ignore[arg-type]
+    handle: TextIO = (
+        open(source, "r", newline="") if own_handle else source  # type: ignore[arg-type]
+    )
     try:
         reader = csv.reader(handle)
         header = next(reader, None)

@@ -19,9 +19,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..geo.world import World
 from ..net.latency import INTERNET, WAN, LatencyModel
-from .probes import LoadBalancer, ProbeRecord, ProbeSampler
+from .probes import ProbeRecord
 
 GRANULARITIES = ("asn", "country_asn", "city", "city_asn")
 
@@ -49,7 +48,9 @@ def fraction_f_by_group(
     ``granularity=None`` clusters per country.  F is computed from
     hourly medians of Internet and WAN RTTs within each group.
     """
-    samples: Dict[Tuple, Dict[Tuple[str, int], List[float]]] = defaultdict(lambda: defaultdict(list))
+    samples: Dict[Tuple, Dict[Tuple[str, int], List[float]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
     for record in records:
         if record.dc_code != dc_code:
             continue

@@ -18,11 +18,11 @@ sub-structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..geo.world import Asn, City, World
+from ..geo.world import Asn, City
 from ..net.latency import INTERNET, WAN, LatencyModel
 
 

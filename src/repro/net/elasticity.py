@@ -46,7 +46,9 @@ class ElasticityParams:
 class ElasticityModel:
     """Loss/RTT inflation as a function of the offloaded traffic fraction."""
 
-    def __init__(self, world: World, params: Optional[ElasticityParams] = None, seed: int = 19) -> None:
+    def __init__(
+        self, world: World, params: Optional[ElasticityParams] = None, seed: int = 19
+    ) -> None:
         self.world = world
         self.params = params if params is not None else ElasticityParams()
         self.seed = seed
@@ -90,7 +92,9 @@ class ElasticityModel:
         even be negative ("Internet infrastructure improved over time").
         """
         if rng is None:
-            rng = np.random.default_rng((self.seed, stable_hash(country_code), stable_hash(dc_code), 2))
+            rng = np.random.default_rng(
+                (self.seed, stable_hash(country_code), stable_hash(dc_code), 2)
+            )
         rtt = rng.normal(1.0, self.params.drift_rtt_ms * 2.0)
         loss = rng.normal(0.01, self.params.drift_loss_pct / 1.5)
         return float(rtt), float(loss)

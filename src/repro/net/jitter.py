@@ -15,7 +15,7 @@ from typing import Optional
 import numpy as np
 
 from ..geo.world import World, stable_hash
-from .latency import INTERNET, WAN, _OPTION_IDS
+from .latency import WAN, _OPTION_IDS
 
 
 @dataclass(frozen=True)
@@ -33,7 +33,9 @@ class JitterModelParams:
 class JitterModel:
     """Samples per-slot mean jitter, deterministic per seed."""
 
-    def __init__(self, world: World, params: Optional[JitterModelParams] = None, seed: int = 17) -> None:
+    def __init__(
+        self, world: World, params: Optional[JitterModelParams] = None, seed: int = 17
+    ) -> None:
         self.world = world
         self.params = params if params is not None else JitterModelParams()
         self.seed = seed

@@ -20,12 +20,12 @@ deterministic, like the latency model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from ..geo.world import World, stable_hash
-from .latency import INTERNET, WAN, _OPTION_IDS
+from .latency import WAN, _OPTION_IDS
 
 #: Slots per hour (the paper aggregates loss per 30 minutes in Fig 16).
 SLOTS_PER_HOUR = 2
@@ -82,9 +82,12 @@ class LossModel:
         if option == WAN:
             return self.params.wan_spike_prob
         country = self.world.country(country_code)
-        return self.params.internet_spike_floor + (1.0 - country.loss_quality) * self.params.internet_spike_span
+        span = (1.0 - country.loss_quality) * self.params.internet_spike_span
+        return self.params.internet_spike_floor + span
 
-    def _spike_pct(self, country_code: str, dc_code: str, option: str, slot: int) -> Optional[float]:
+    def _spike_pct(
+        self, country_code: str, dc_code: str, option: str, slot: int
+    ) -> Optional[float]:
         """Spike loss magnitude if the slot falls in a spike episode.
 
         Spikes are drawn per *episode* (a run of ``spike_run_slots``

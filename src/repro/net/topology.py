@@ -21,12 +21,12 @@ links along that path are what the Titan-Next LP charges for
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import networkx as nx
 
 from ..geo.coords import haversine_km
-from ..geo.world import DataCenter, World
+from ..geo.world import World
 
 
 @dataclass(frozen=True)

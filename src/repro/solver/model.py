@@ -45,7 +45,9 @@ class Variable:
 
     __slots__ = ("index", "name", "lower", "upper")
 
-    def __init__(self, index: int, name: str, lower: float = 0.0, upper: Optional[float] = None) -> None:
+    def __init__(
+        self, index: int, name: str, lower: float = 0.0, upper: Optional[float] = None
+    ) -> None:
         if upper is not None and upper < lower:
             raise ValueError(f"variable {name}: upper < lower")
         self.index = index
@@ -313,7 +315,9 @@ class LinearProgram:
 
     # -- variables -----------------------------------------------------------
 
-    def add_variable(self, name: str, lower: float = 0.0, upper: Optional[float] = None) -> Variable:
+    def add_variable(
+        self, name: str, lower: float = 0.0, upper: Optional[float] = None
+    ) -> Variable:
         if name in self._names:
             raise ValueError(f"duplicate variable name: {name}")
         var = Variable(self.num_variables, name, lower, upper)
@@ -379,7 +383,9 @@ class LinearProgram:
         for index in range(self.num_variables):
             var = self._explicit.get(index)
             if var is None:
-                var = Variable(index, self.variable_name(index), self._lowers[index], self._uppers[index])
+                var = Variable(
+                    index, self.variable_name(index), self._lowers[index], self._uppers[index]
+                )
             out.append(var)
         return out
 
@@ -466,7 +472,8 @@ class LinearProgram:
 
     def objective_value(self, x: np.ndarray) -> float:
         """Evaluate the objective at a by-index assignment."""
-        return float(self.objective_vector() @ np.asarray(x, dtype=np.float64)) + self.objective_constant
+        value = float(self.objective_vector() @ np.asarray(x, dtype=np.float64))
+        return value + self.objective_constant
 
     # -- shape ---------------------------------------------------------------
 
@@ -487,7 +494,8 @@ class LinearProgram:
         otherwise; ``simplex`` / ``highs`` force a backend.
         """
         if method == "auto":
-            method = "simplex" if self.num_variables <= 40 and self.num_constraints <= 40 else "highs"
+            small = self.num_variables <= 40 and self.num_constraints <= 40
+            method = "simplex" if small else "highs"
         if method == "simplex":
             from .simplex import solve_simplex
 

@@ -27,7 +27,7 @@ from typing import List, Tuple
 
 import numpy as np
 
-from .model import EQ, GE, LE, LinearProgram, Solution
+from .model import GE, LE, LinearProgram, Solution
 
 _EPS = 1e-9
 _BIG = 1e9

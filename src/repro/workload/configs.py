@@ -56,7 +56,9 @@ class CallConfig:
         return cls(participants, media)
 
     @classmethod
-    def from_participants(cls, countries: Iterable[str], media_types: Iterable[str]) -> "CallConfig":
+    def from_participants(
+        cls, countries: Iterable[str], media_types: Iterable[str]
+    ) -> "CallConfig":
         """Build a config from raw participant data.
 
         ``countries`` lists one entry per participant; the config's media

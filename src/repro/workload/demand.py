@@ -21,15 +21,15 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import special
 
-from ..geo.world import Country, World, stable_hash
+from ..geo.world import Country, stable_hash
 from .configs import CallConfig
-from .media import AUDIO, MEDIA_TYPES, SCREENSHARE, VIDEO
+from .media import AUDIO, SCREENSHARE, VIDEO
 
 #: 30-minute slots, as in the paper's LP and forecasting pipeline.
 SLOTS_PER_DAY = 48
@@ -42,7 +42,9 @@ MEDIA_MIX: Dict[str, float] = {AUDIO: 0.45, VIDEO: 0.42, SCREENSHARE: 0.13}
 INTRA_COUNTRY_FRACTION = 0.85
 
 #: Distribution of participant counts for intra-country calls.
-INTRA_SIZE_WEIGHTS: Dict[int, float] = {1: 0.10, 2: 0.38, 3: 0.22, 4: 0.14, 5: 0.09, 6: 0.04, 8: 0.02, 10: 0.01}
+INTRA_SIZE_WEIGHTS: Dict[int, float] = {
+    1: 0.10, 2: 0.38, 3: 0.22, 4: 0.14, 5: 0.09, 6: 0.04, 8: 0.02, 10: 0.01,
+}
 
 #: Distribution of (countries, per-country size) for international calls.
 INTER_SIZE_WEIGHTS: Dict[Tuple[int, ...], float] = {
@@ -353,9 +355,8 @@ class DemandModel:
         ``(seed, config, slot, multiplier)`` and unstressed entries are
         bit-identical to the unstressed window.
         """
-        lam = self.expected_matrix(start_slot, slots, top_n, multipliers=multipliers) * self._slot_shocks(
-            start_slot, slots
-        )[None, :]
+        expected = self.expected_matrix(start_slot, slots, top_n, multipliers=multipliers)
+        lam = expected * self._slot_shocks(start_slot, slots)[None, :]
         demands = self._top(top_n)
         uniforms = np.empty((len(demands), slots))
         for i, demand in enumerate(demands):

@@ -28,7 +28,7 @@ batched table reproduces the scalar calls bit for bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -227,7 +227,9 @@ class TraceGenerator:
     :class:`CallTable` in one batched pass.
     """
 
-    def __init__(self, demand: DemandModel, top_n_configs: Optional[int] = None, seed: int = 37) -> None:
+    def __init__(
+        self, demand: DemandModel, top_n_configs: Optional[int] = None, seed: int = 37
+    ) -> None:
         self.demand = demand
         self.top_n_configs = top_n_configs
         self.seed = seed

@@ -111,7 +111,7 @@ class TestFiberCuts:
         if removed is None:
             pytest.skip("no removable link on this path")
         rerouted = topo.wan_path("FR", "westeurope")
-        assert removed.key not in {l.key for l in rerouted}
+        assert removed.key not in {ln.key for ln in rerouted}
         topo.restore_link(removed)
         assert topo.wan_path("FR", "westeurope") == original
 
@@ -123,8 +123,10 @@ class TestFiberCuts:
     def test_cannot_partition_backbone(self):
         topo = WanTopology(default_world(), dc_degree=1, pop_attachments=1)
         # A PoP with one attachment: cutting it would strand the PoP.
-        pop_link = next(l for l in topo.links if l.a.startswith("pop:") or l.b.startswith("pop:"))
+        pop_link = next(
+            ln for ln in topo.links if ln.a.startswith("pop:") or ln.b.startswith("pop:")
+        )
         with pytest.raises(ValueError):
             topo.remove_link(pop_link)
         # And the link survives the failed removal.
-        assert pop_link.key in {l.key for l in topo.links}
+        assert pop_link.key in {ln.key for ln in topo.links}

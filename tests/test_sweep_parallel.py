@@ -13,8 +13,7 @@ import pickle
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
-from hypothesis import strategies as st
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis.metrics import evaluate_batch
 from repro.core.sweep import SweepRunner, available_workers
