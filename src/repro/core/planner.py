@@ -33,7 +33,17 @@ combined ``planner=`` spec strings (``"monolithic"``, ``"decomposed"``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -105,7 +115,7 @@ class PlannerSpec:
         return MonolithicPlanner(scenario, configs, options=options)
 
 
-def resolve_planner(spec) -> PlannerSpec:
+def resolve_planner(spec: PlannerSpec | str | None) -> PlannerSpec:
     """Parse a ``planner=`` knob into a :class:`PlannerSpec`.
 
     Accepts ``None`` (the monolithic default), an existing spec, or a

@@ -48,9 +48,8 @@ import pickle
 import secrets
 import weakref
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
-
 from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Tuple
 
 #: Buffers below this many bytes stay in the pickle stream: the span
 #: bookkeeping plus page-aligned placement costs more than rebuilding a
@@ -125,10 +124,10 @@ class ShmArena:
     can all call it without coordination.
     """
 
-    def __init__(self, obj, inband_threshold: int = INBAND_THRESHOLD) -> None:
+    def __init__(self, obj: object, inband_threshold: int = INBAND_THRESHOLD) -> None:
         buffers: List[memoryview] = []
 
-        def divert(buffer: pickle.PickleBuffer):
+        def divert(buffer: pickle.PickleBuffer) -> bool:
             raw = buffer.raw()
             if raw.nbytes < inband_threshold:
                 return True  # keep tiny buffers in the pickle stream
@@ -179,14 +178,14 @@ def attach_segment(name: str) -> shared_memory.SharedMemory:
     suppression is a scoped rebind of that attribute.
     """
     original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
     try:
         return shared_memory.SharedMemory(name=name)
     finally:
-        resource_tracker.register = original
+        resource_tracker.register = original  # type: ignore[assignment]
 
 
-def map_payload(payload: ShmPayload) -> Tuple[object, shared_memory.SharedMemory]:
+def map_payload(payload: ShmPayload) -> Tuple[Any, shared_memory.SharedMemory]:
     """Rebuild a payload's object graph over the shared segment.
 
     Returns ``(object, attachment)``.  The attachment must stay

@@ -89,11 +89,27 @@ import os
 import pickle
 import time
 import traceback as traceback_module
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from concurrent.futures import TimeoutError as FutureTimeout
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -101,12 +117,22 @@ from ..workload.configs import CallConfig
 from ..workload.demand import SLOTS_PER_DAY
 from ..workload.traces import TraceGenerator
 from .lp import AssignmentTable, JointLpOptions
-from .planner import PlanBackend, PlannerSpec, resolve_planner, slot_support_keys
+from .planner import PlanBackend, PlannerSpec, SlotMap, SlotTask, resolve_planner, slot_support_keys
 from .scenario import EVAL_OPTION_ORDER
 from .shm import ShmArena, ShmPayload, map_payload
 
+if TYPE_CHECKING:
+    from multiprocessing.shared_memory import SharedMemory
+
+    from ..analysis.metrics import EvaluationResult
+    from .scenario import Scenario, ScenarioEvalTables
+    from .titan_next import EuropeSetup, PlanCache, PredictionDayResult
+
 #: Demand/forecast table: ``(slot of day, config) -> call count``.
 DemandTable = Dict[Tuple[int, CallConfig], float]
+
+#: One §7 oracle task: (day, demand, cached titan-next plan, policies).
+OracleTask = Tuple[int, DemandTable, Optional[AssignmentTable], Tuple[str, ...]]
 
 #: Baseline first-joiner policies every §8 window can replay.
 PREDICTION_POLICIES: Tuple[str, ...] = ("wrr", "lf", "titan", "titan-next")
@@ -120,7 +146,7 @@ def available_workers() -> int:
         return os.cpu_count() or 1
 
 
-def _resolve_workers(workers) -> int:
+def _resolve_workers(workers: int | str | None) -> int:
     if workers is None or workers == "auto":
         return available_workers()
     count = int(workers)
@@ -193,7 +219,7 @@ class SweepError(RuntimeError):
         self.failures: List[SweepFailure] = list(failures)
 
 
-def _task_day(task) -> Optional[int]:
+def _task_day(task: object) -> Optional[int]:
     """The day a task tuple targets, when its first element is one."""
     if isinstance(task, tuple) and task and isinstance(task[0], int):
         return task[0]
@@ -215,7 +241,7 @@ class KillWorkerFault:
     kind: str = "replay"
     exit_code: int = 13
 
-    def __call__(self, kind: str, task, attempt: int) -> None:
+    def __call__(self, kind: str, task: object, attempt: int) -> None:
         if kind == self.kind and attempt == 0 and _task_day(task) == self.day:
             os._exit(self.exit_code)
 
@@ -233,7 +259,7 @@ class FlakyTaskFault:
     kind: str = "replay"
     message: str = "injected transient failure"
 
-    def __call__(self, kind: str, task, attempt: int) -> None:
+    def __call__(self, kind: str, task: object, attempt: int) -> None:
         if kind == self.kind and attempt == 0 and _task_day(task) == self.day:
             raise RuntimeError(f"{self.message} (day={self.day})")
 
@@ -252,7 +278,7 @@ class HangFault:
     seconds: float = 60.0
     kind: str = "replay"
 
-    def __call__(self, kind: str, task, attempt: int) -> None:
+    def __call__(self, kind: str, task: object, attempt: int) -> None:
         if kind == self.kind and attempt == 0 and _task_day(task) == self.day:
             time.sleep(self.seconds)
 
@@ -272,14 +298,16 @@ class _WorkerState:
     sharing the generator across days changes nothing).
     """
 
-    def __init__(self, setup) -> None:
+    def __init__(self, setup: "EuropeSetup") -> None:
         self.setup = setup
         self._generators: Dict[int, TraceGenerator] = {}
-        self._slot_planners: Dict[Tuple, object] = {}
+        self._slot_planners: Dict[
+            Tuple[Tuple[CallConfig, ...], JointLpOptions, int], "PlanCache"
+        ] = {}
         #: The shared-memory attachment whose pages back this worker's
         #: mapped arrays (``process+shm`` backend); pinned here so the
         #: mapping outlives every view for the life of the worker.
-        self.attachment = None
+        self.attachment: Optional["SharedMemory"] = None
 
     def trace_generator(self, seed: int) -> TraceGenerator:
         generator = self._generators.get(seed)
@@ -290,7 +318,9 @@ class _WorkerState:
             self._generators[seed] = generator
         return generator
 
-    def slot_planner(self, configs: Tuple[CallConfig, ...], options: JointLpOptions, slot: int):
+    def slot_planner(
+        self, configs: Tuple[CallConfig, ...], options: JointLpOptions, slot: int
+    ) -> "PlanCache":
         """This worker's hot single-slot :class:`PlanCache` for ``slot``.
 
         Keyed on the full planning signature so a worker re-used across
@@ -314,7 +344,7 @@ class _WorkerState:
 _WORKER_STATE: Optional[_WorkerState] = None
 
 
-def _init_worker(payload) -> None:
+def _init_worker(payload: "ShmPayload | bytes") -> None:
     """Pool initializer: build this worker's setup from the payload.
 
     Run once per worker process.  ``payload`` is either the pickled
@@ -348,7 +378,9 @@ def _state_or_worker(state: Optional[_WorkerState]) -> _WorkerState:
     return resolved
 
 
-def _forecast_day_task(task, state: Optional[_WorkerState] = None):
+def _forecast_day_task(
+    task: Tuple[int, int, bool], state: Optional[_WorkerState] = None
+) -> Tuple[int, DemandTable]:
     """(day, history_weeks, reduced) -> (day, predicted demand table)."""
     from .titan_next import predicted_demand_for_day
 
@@ -357,7 +389,10 @@ def _forecast_day_task(task, state: Optional[_WorkerState] = None):
     return day, predicted_demand_for_day(worker.setup, day, history_weeks, reduced=reduced)
 
 
-def _replay_day_task(task, state: Optional[_WorkerState] = None):
+def _replay_day_task(
+    task: Tuple[int, Optional[AssignmentTable], Tuple[str, ...], int, bool, bool, bool],
+    state: Optional[_WorkerState] = None,
+) -> Tuple[int, Dict[str, object]]:
     """Replay one §8 day: synthesize the trace once, run each policy.
 
     ``task`` is ``(day, plan_assignment, policies, seed, reduced,
@@ -374,7 +409,7 @@ def _replay_day_task(task, state: Optional[_WorkerState] = None):
     day, plan_assignment, policies, seed, reduced, evaluate, compact = task
     worker = _state_or_worker(state)
     table = worker.trace_generator(seed).table_for_day(day)
-    results = {}
+    results: Dict[str, object] = {}
     for name in policies:
         result = _prediction_day_result(
             worker.setup, name, table, seed, reduced, plan_assignment=plan_assignment
@@ -390,7 +425,10 @@ def _replay_day_task(task, state: Optional[_WorkerState] = None):
     return day, results
 
 
-def _plan_slot_task(task, state: Optional[_WorkerState] = None):
+def _plan_slot_task(
+    task: Tuple[Tuple[CallConfig, ...], JointLpOptions, int, DemandTable, float],
+    state: Optional[_WorkerState] = None,
+) -> List[Tuple[int, CallConfig, str, str]]:
     """Solve one slot subproblem of the decomposed planner.
 
     ``task`` is ``(configs, options, slot, slot_demand, bound)``;
@@ -404,7 +442,10 @@ def _plan_slot_task(task, state: Optional[_WorkerState] = None):
     return slot_support_keys(worker.slot_planner(configs, options, slot), slot_demand, bound)
 
 
-def _oracle_day_task(task, state: Optional[_WorkerState] = None):
+def _oracle_day_task(
+    task: Tuple[int, DemandTable, Optional[AssignmentTable], Tuple[str, ...]],
+    state: Optional[_WorkerState] = None,
+) -> Tuple[int, Dict[str, "EvaluationResult"]]:
     """Score one §7 oracle day for a set of policies.
 
     ``task`` is ``(day, demand, titan_next_assignment, policies)``;
@@ -434,7 +475,10 @@ _KIND_OF: Dict[Callable, str] = {
 }
 
 
-def _guarded_task(payload, state: Optional[_WorkerState] = None):
+def _guarded_task(
+    payload: Tuple[Callable, str, object, int, Optional[Callable]],
+    state: Optional[_WorkerState] = None,
+) -> object:
     """Worker-side shim every pooled task runs through.
 
     ``payload`` is ``(fn, kind, task, attempt, inject)``: the injector
@@ -492,7 +536,12 @@ class DaySummary:
 
 
 def summarize_day_result(
-    scenario, result, day: int, seed: int, reduced: bool, evaluate: bool = False
+    scenario: "Scenario",
+    result: "PredictionDayResult",
+    day: int,
+    seed: int,
+    reduced: bool,
+    evaluate: bool = False,
 ) -> DaySummary:
     """Collapse one ``PredictionDayResult`` into a :class:`DaySummary`.
 
@@ -543,12 +592,18 @@ class SummaryDayResult:
     never silently reuse stale rows.
     """
 
-    def __init__(self, summary: DaySummary, state: _WorkerState, configs, plan_assignment=None):
+    def __init__(
+        self,
+        summary: DaySummary,
+        state: _WorkerState,
+        configs: Sequence[CallConfig],
+        plan_assignment: Optional[AssignmentTable] = None,
+    ) -> None:
         self.summary = summary
         self._state = state
         self._configs = tuple(configs)
         self._plan_assignment = plan_assignment
-        self._full = None
+        self._full: Optional["PredictionDayResult"] = None
         #: Mirrors ``PredictionDayResult.evaluation`` (the in-pool score).
         self.evaluation = summary.evaluation
 
@@ -557,21 +612,22 @@ class SummaryDayResult:
         return self.summary.policy
 
     @property
-    def stats(self):
+    def stats(self) -> object:
         return self.summary.stats
 
     @property
-    def assignments(self):
+    def assignments(self) -> object:
         return self.full_result().assignments
 
-    def full_result(self):
+    def full_result(self) -> "PredictionDayResult":
         """The reconstructed full ``PredictionDayResult`` (cached)."""
-        if self._full is None:
+        full = self._full
+        if full is None:
             from .titan_next import _prediction_day_result
 
             s = self.summary
             table = self._state.trace_generator(s.seed).table_for_day(s.day)
-            self._full = _prediction_day_result(
+            full = _prediction_day_result(
                 self._state.setup,
                 s.policy,
                 table,
@@ -579,8 +635,9 @@ class SummaryDayResult:
                 s.reduced,
                 plan_assignment=self._plan_assignment,
             )
-            self._full.evaluation = self.evaluation
-        return self._full
+            full.evaluation = self.evaluation
+            self._full = full
+        return full
 
     def realized_table(self, slots_per_day: int = SLOTS_PER_DAY) -> AssignmentTable:
         s = self.summary
@@ -597,7 +654,9 @@ class SummaryDayResult:
             table[key] = float(n)
         return table
 
-    def evaluate(self, scenario, slots_per_day: int = SLOTS_PER_DAY):
+    def evaluate(
+        self, scenario: "Scenario", slots_per_day: int = SLOTS_PER_DAY
+    ) -> "EvaluationResult":
         s = self.summary
         if scenario is not self._state.setup.scenario or slots_per_day != s.slots_per_day:
             return self.full_result().evaluate(scenario, slots_per_day)
@@ -638,8 +697,8 @@ class _PoolHandle:
         self,
         backend: str,
         workers: int,
-        mp_context,
-        payload,
+        mp_context: Any,
+        payload: "bytes | ShmPayload | None",
         arena: Optional[ShmArena] = None,
     ) -> None:
         self.backend = backend
@@ -648,9 +707,9 @@ class _PoolHandle:
         self._payload = payload
         self.arena = arena
         self.rebuilds = 0
-        self._pool = self._spawn()
+        self._pool: Optional[Executor] = self._spawn()
 
-    def _spawn(self):
+    def _spawn(self) -> Executor:
         if self.backend == "thread":
             return ThreadPoolExecutor(max_workers=self.workers)
         return ProcessPoolExecutor(
@@ -660,7 +719,8 @@ class _PoolHandle:
             initargs=(self._payload,),
         )
 
-    def submit(self, fn, *args):
+    def submit(self, fn: Callable[..., object], *args: object) -> "Future[object]":
+        assert self._pool is not None, "submit on a killed pool (rebuild first)"
         return self._pool.submit(fn, *args)
 
     def kill(self) -> None:
@@ -744,11 +804,11 @@ class SweepRunner:
 
     def __init__(
         self,
-        setup,
-        workers=1,
+        setup: "EuropeSetup",
+        workers: int | str = 1,
         backend: Optional[str] = None,
-        mp_context=None,
-        planner=None,
+        mp_context: Any = None,
+        planner: "PlannerSpec | str | None" = None,
         fault_policy: Optional[FaultPolicy] = None,
         inject_fault: Optional[Callable] = None,
         shared_memory: Optional[bool] = None,
@@ -800,7 +860,7 @@ class SweepRunner:
     # -- pool plumbing -----------------------------------------------------
 
     @contextmanager
-    def worker_pool(self, tasks_hint: int):
+    def worker_pool(self, tasks_hint: int) -> Iterator[Optional[_PoolHandle]]:
         """One rebuildable pool shared by several :meth:`map_days` calls.
 
         A multi-phase sweep (forecast fan-out, serial planning, replay
@@ -832,7 +892,9 @@ class SweepRunner:
         finally:
             handle.shutdown()
 
-    def _shm_state_payload(self):
+    def _shm_state_payload(
+        self,
+    ) -> Tuple["EuropeSetup", "ScenarioEvalTables", Tuple[np.ndarray, np.ndarray]]:
         """The object graph an shm pool ships: setup + warmed caches.
 
         The pre-built :class:`ScenarioEvalTables` for the canonical
@@ -867,7 +929,7 @@ class SweepRunner:
 
     def _wrap_results(self, day: int, results: Dict, plans: Dict) -> Dict:
         """Wrap a day's worker-side summaries for the caller."""
-        wrapped = {}
+        wrapped: Dict[str, object] = {}
         for name, value in results.items():
             if isinstance(value, DaySummary):
                 plan = plans.get(day) if name == "titan-next" else None
@@ -878,7 +940,9 @@ class SweepRunner:
                 wrapped[name] = value
         return wrapped
 
-    def map_days(self, fn: Callable, tasks: Sequence, pool=None) -> List:
+    def map_days(
+        self, fn: Callable, tasks: Sequence, pool: Optional[_PoolHandle] = None
+    ) -> List:
         """Run ``fn`` over per-day tasks, in task order.
 
         Tasks must be independent (the per-day §7/§8 work is, by the
@@ -895,11 +959,14 @@ class SweepRunner:
         if pool is not None:
             return self._gather(fn, tasks, pool)
         with self.worker_pool(len(tasks)) as opened:
+            assert opened is not None  # serial/single-task handled above
             return self._gather(fn, tasks, opened)
 
     # -- supervision --------------------------------------------------------
 
-    def _submit_guarded(self, handle: _PoolHandle, fn: Callable, task, attempt: int):
+    def _submit_guarded(
+        self, handle: _PoolHandle, fn: Callable, task: object, attempt: int
+    ) -> Optional["Future[object]"]:
         """Submit one task through the worker-side guard shim.
 
         Returns ``None`` when the pool is already broken at submit time
@@ -908,7 +975,13 @@ class SweepRunner:
         :meth:`_gather`'s broken-pool recovery instead of letting the
         synchronous ``BrokenProcessPool`` escape the supervisor.
         """
-        payload = (fn, _KIND_OF.get(fn, getattr(fn, "__name__", "task")), task, attempt, self.inject_fault)
+        payload = (
+            fn,
+            _KIND_OF.get(fn, getattr(fn, "__name__", "task")),
+            task,
+            attempt,
+            self.inject_fault,
+        )
         try:
             if handle.backend == "thread":
                 return handle.submit(_guarded_task, payload, self._state)
@@ -917,12 +990,19 @@ class SweepRunner:
             return None
 
     @staticmethod
-    def _task_label(fn: Callable, task) -> str:
+    def _task_label(fn: Callable, task: object) -> str:
         kind = _KIND_OF.get(fn, getattr(fn, "__name__", "task"))
         day = _task_day(task)
         return f"{kind}:day={day}" if day is not None else kind
 
-    def _incident(self, fn: Callable, task, attempts: int, error_type: str, exc: Optional[BaseException]) -> SweepFailure:
+    def _incident(
+        self,
+        fn: Callable,
+        task: object,
+        attempts: int,
+        error_type: str,
+        exc: Optional[BaseException],
+    ) -> SweepFailure:
         record = SweepFailure(
             kind=_KIND_OF.get(fn, getattr(fn, "__name__", "task")),
             label=self._task_label(fn, task),
@@ -934,7 +1014,9 @@ class SweepRunner:
         self.fault_log.append(record)
         return record
 
-    def _harvest(self, pending: Dict[int, object], results: List) -> None:
+    def _harvest(
+        self, pending: Dict[int, Optional["Future[object]"]], results: List
+    ) -> None:
         """Bank every already-finished successful result in ``pending``.
 
         Run before a pool kill: futures that completed before the kill
@@ -942,14 +1024,20 @@ class SweepRunner:
         re-runs genuinely incomplete days.  ``None`` entries mark tasks
         whose submission already found the pool broken.
         """
-        for index in [i for i, f in pending.items() if f is not None and f.done()]:
-            future = pending[index]
+        done = [(i, f) for i, f in pending.items() if f is not None and f.done()]
+        for index, future in done:
             if future.cancelled() or future.exception() is not None:
                 continue
             results[index] = future.result()
             del pending[index]
 
-    def _gather(self, fn: Callable, tasks: Sequence, handle: _PoolHandle, pending=None) -> List:
+    def _gather(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        handle: _PoolHandle,
+        pending: Optional[Dict[int, Optional["Future[object]"]]] = None,
+    ) -> List:
         """The supervision loop: gather pooled results, surviving faults.
 
         Results are collected in task order.  A task exception retries
@@ -1030,7 +1118,11 @@ class SweepRunner:
     # -- §8 prediction sweeps ----------------------------------------------
 
     def forecast_days(
-        self, days: Sequence[int], history_weeks: int = 4, reduced: bool = True, pool=None
+        self,
+        days: Sequence[int],
+        history_weeks: int = 4,
+        reduced: bool = True,
+        pool: Optional[_PoolHandle] = None,
     ) -> Dict[int, DemandTable]:
         """Parallel phase 1: per-day Holt-Winters forecast tables."""
         tasks = [(day, history_weeks, reduced) for day in days]
@@ -1040,7 +1132,7 @@ class SweepRunner:
         self,
         demands: Dict[int, DemandTable],
         lp_options: Optional[JointLpOptions],
-        pool,
+        pool: Optional[_PoolHandle],
     ) -> Tuple[PlanBackend, Callable[[int], float]]:
         """Build this runner's planner backend for a set of day tables.
 
@@ -1057,16 +1149,18 @@ class SweepRunner:
             raise ValueError("no predicted demand across the requested days")
         base_options = lp_options if lp_options is not None else JointLpOptions()
 
-        slot_map = None
+        slot_map: Optional[SlotMap] = None
         if self.planner.backend == "decomposed" and pool is not None:
             signature = tuple(configs)
 
-            def slot_map(tasks):
+            def fan_slots(tasks: List[SlotTask]) -> List[List[Tuple[int, CallConfig, str, str]]]:
                 wrapped = [
                     (signature, base_options, t, slot_demand, bound)
                     for t, slot_demand, bound in tasks
                 ]
                 return self.map_days(_plan_slot_task, wrapped, pool=pool)
+
+            slot_map = fan_slots
 
         backend = self.planner.build(
             self.setup.scenario, configs, options=base_options, slot_map=slot_map
@@ -1081,7 +1175,7 @@ class SweepRunner:
         self,
         predictions: Dict[int, DemandTable],
         lp_options: Optional[JointLpOptions] = None,
-        pool=None,
+        pool: Optional[_PoolHandle] = None,
     ) -> Dict[int, AssignmentTable]:
         """Phase 2: the planning loop, through this runner's backend.
 
@@ -1123,7 +1217,7 @@ class SweepRunner:
         seed: int = 71,
         reduced: bool = True,
         evaluate: bool = False,
-        pool=None,
+        pool: Optional[_PoolHandle] = None,
         return_tables: Optional[bool] = None,
     ) -> Dict[int, Dict[str, "PredictionDayResult"]]:
         """Parallel phase 3: per-day trace synthesis + controller replay.
@@ -1278,7 +1372,7 @@ class SweepRunner:
         reduced: bool,
         evaluate: bool,
         return_tables: Optional[bool],
-        pool,
+        pool: _PoolHandle,
     ) -> Dict[int, Dict[str, "PredictionDayResult"]]:
         """Planning/replay pipelining: plan day ``d+1`` while the pool
         replays day ``d``.
@@ -1292,8 +1386,8 @@ class SweepRunner:
         """
         compact = self._compact(return_tables)
         plans: Dict[int, AssignmentTable] = {}
-        tasks = []
-        pending = {}
+        tasks: List[Tuple[int, AssignmentTable, Tuple[str, ...], int, bool, bool, bool]] = []
+        pending: Dict[int, Optional["Future[object]"]] = {}
         for day in block:
             plans[day] = self._solve_plan(backend, bound_for, predictions[day], day)
             task = (day, plans[day], policies, seed, reduced, evaluate, compact)
@@ -1359,7 +1453,7 @@ class SweepRunner:
             raise ValueError("chunk_days must be >= 1 (or None)")
         demands = {day: oracle_demand_for_day(self.setup, day) for day in day_list}
         if not (use_plan_cache and "titan-next" in chosen and day_list):
-            tasks = [(day, demands[day], None, chosen) for day in day_list]
+            tasks: List[OracleTask] = [(day, demands[day], None, chosen) for day in day_list]
             return dict(self.map_days(_oracle_day_task, tasks))
 
         # One pool spans planning and scoring, so the pipelined mode
@@ -1372,15 +1466,23 @@ class SweepRunner:
                 block = day_list[start : start + chunk]
                 if self.planner.pipelined and pool is not None:
                     tasks = []
-                    pending = {}
+                    pipelined_pending: Dict[int, Optional["Future[object]"]] = {}
                     for day in block:
                         assignment = self._solve_plan(
                             backend, bound_for, demands[day], day, label="cached"
                         )
                         task = (day, demands[day], assignment, chosen)
-                        pending[len(tasks)] = self._submit_guarded(pool, _oracle_day_task, task, 0)
+                        pipelined_pending[len(tasks)] = self._submit_guarded(
+                            pool, _oracle_day_task, task, 0
+                        )
                         tasks.append(task)
-                    out.update(dict(self._gather(_oracle_day_task, tasks, pool, pending=pending)))
+                    out.update(
+                        dict(
+                            self._gather(
+                                _oracle_day_task, tasks, pool, pending=pipelined_pending
+                            )
+                        )
+                    )
                     continue
                 tn_plans = {
                     day: self._solve_plan(backend, bound_for, demands[day], day, label="cached")
