@@ -92,11 +92,14 @@ def build_europe_setup(
     rng = np.random.default_rng(seed + 2)
     for country in eu_countries:
         for dc in dcs:
+            # Converged fractions vary per pair (5%..cap), as §7.4 notes.
+            # Drawn unconditionally — before the disabled check — so the
+            # stream position of every later pair is independent of the
+            # disabled set and books stay comparable across ablations.
+            fraction = float(min(0.20, max(0.05, rng.normal(internet_fraction, 0.03))))
             if country in disabled_countries:
                 book.disable(country, dc)
                 continue
-            # Converged fractions vary per pair (5%..cap), as §7.4 notes.
-            fraction = float(min(0.20, max(0.05, rng.normal(internet_fraction, 0.03))))
             book.set_fraction(country, dc, fraction)
             book.set_gbps(country, dc, fraction * traffic[(country, dc)])
 

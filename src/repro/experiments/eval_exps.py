@@ -41,6 +41,25 @@ def default_setup(daily_calls: float = 6_000.0, top_n_configs: int = 60) -> Euro
     return build_europe_setup(daily_calls=daily_calls, top_n_configs=top_n_configs)
 
 
+def default_setup_for(
+    scenario: Optional[str] = None,
+    daily_calls: float = 6_000.0,
+    top_n_configs: int = 60,
+) -> EuropeSetup:
+    """The evaluation setup for a named zoo scenario, or the Europe box.
+
+    ``scenario=None`` keeps every runner's historical default (the §7.3
+    intra-Europe slice); any name from the scenario zoo swaps in that
+    RTT-calibrated topology instead, so the figure runners sweep
+    ``scenario=`` like they sweep ``workers=``.
+    """
+    if scenario is None:
+        return default_setup(daily_calls=daily_calls, top_n_configs=top_n_configs)
+    from ..scenarios import build_scenario
+
+    return build_scenario(scenario, daily_calls=daily_calls, top_n_configs=top_n_configs)
+
+
 def fig14_measured(week) -> Dict[str, object]:
     """Aggregate a ``run_oracle_week`` result into the Fig 14 rows.
 
@@ -72,6 +91,7 @@ def run_fig14(
     planner=None,
     shared_memory: Optional[bool] = None,
     chunk_days: Optional[int] = None,
+    scenario: Optional[str] = None,
 ) -> ExperimentResult:
     """Fig 14 — oracle sum-of-peaks per day, normalized to WRR.
 
@@ -80,8 +100,9 @@ def run_fig14(
     (see :mod:`repro.core.planner`); ``shared_memory`` maps worker
     state zero-copy and ``chunk_days`` bounds in-flight days; the
     measured rows are identical for any worker count and spec.
+    ``scenario`` swaps the Europe box for a named zoo topology.
     """
-    setup = setup if setup is not None else default_setup()
+    setup = setup if setup is not None else default_setup_for(scenario)
     measured = fig14_measured(
         run_oracle_week(
             setup,
@@ -103,9 +124,13 @@ def run_fig14(
     )
 
 
-def run_tab3(setup: Optional[EuropeSetup] = None, day: int = 2) -> ExperimentResult:
+def run_tab3(
+    setup: Optional[EuropeSetup] = None,
+    day: int = 2,
+    scenario: Optional[str] = None,
+) -> ExperimentResult:
     """Table 3 — daily average / median / P95 of max-E2E latency."""
-    setup = setup if setup is not None else default_setup()
+    setup = setup if setup is not None else default_setup_for(scenario)
     results = run_oracle_day(setup, day, policies=("wrr", "lf", "titan-next"))
     measured = {}
     for name, result in results.items():
@@ -184,15 +209,16 @@ def run_fig15(
     planner=None,
     shared_memory: Optional[bool] = None,
     chunk_days: Optional[int] = None,
+    scenario: Optional[str] = None,
 ) -> ExperimentResult:
     """Fig 15 — prediction-based sum-of-peaks, normalized to WRR.
 
     ``days > 1`` extends the experiment over a window starting at
     ``day`` (per-day rows plus window-mean savings), planned through
     the selected ``planner`` backend and replayed/scored across
-    ``workers``.
+    ``workers``.  ``scenario`` swaps in a named zoo topology.
     """
-    setup = setup if setup is not None else default_setup()
+    setup = setup if setup is not None else default_setup_for(scenario)
     window = run_prediction_window(
         setup,
         range(day, day + days),
@@ -222,6 +248,7 @@ def run_fig18_sweep(
     planner=None,
     shared_memory: Optional[bool] = None,
     chunk_days: Optional[int] = None,
+    scenario: Optional[str] = None,
 ) -> ExperimentResult:
     """Fig 18-style long-horizon §8 sweep: savings held over weeks.
 
@@ -241,7 +268,7 @@ def run_fig18_sweep(
     aggregator and only one chunk of results is alive at a time, so the
     horizon can grow without the resident set growing with it.
     """
-    setup = setup if setup is not None else default_setup()
+    setup = setup if setup is not None else default_setup_for(scenario)
     day_range = range(start_day, start_day + days)
     if chunk_days is not None:
         runner = SweepRunner(
@@ -316,9 +343,13 @@ def run_fig20(
     )
 
 
-def run_tab4(setup: Optional[EuropeSetup] = None, day: int = 30) -> ExperimentResult:
+def run_tab4(
+    setup: Optional[EuropeSetup] = None,
+    day: int = 30,
+    scenario: Optional[str] = None,
+) -> ExperimentResult:
     """Table 4 — migrations with vs without reduced call configs."""
-    setup = setup if setup is not None else default_setup()
+    setup = setup if setup is not None else default_setup_for(scenario)
     rates = migration_comparison(setup, day)
     reduced_dc = rates["reduced"]["dc_migration_rate"]
     raw_dc = rates["raw"]["dc_migration_rate"]
@@ -529,7 +560,8 @@ def run_ablation_fiber_cut(
         except ValueError:
             continue
     assert cut is not None
-    latency._base_cache.clear()
+    # No cache flush needed: the topology version counter makes the
+    # LatencyModel drop its stale WAN RTTs on the next query.
     from ..core.scenario import Scenario
 
     degraded_scenario = Scenario(

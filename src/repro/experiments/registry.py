@@ -25,6 +25,12 @@ from .eval_exps import (
 )
 from .measurement_exps import run_fig3, run_fig4, run_fig5, run_fig18, run_fig19, run_tab1
 from .quality_exps import run_fig6, run_fig7, run_fig8, run_fig11, run_fig16, run_fig17
+from .scenario_exps import (
+    run_scenario_americas,
+    run_scenario_apac,
+    run_scenario_emea,
+    run_scenario_global,
+)
 from .stress_exps import (
     run_stress_dc_outage,
     run_stress_demand_shock,
@@ -63,7 +69,16 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "stress-flashcrowd": run_stress_flash_crowd,
     "stress-holiday": run_stress_holiday,
     "stress-shock": run_stress_demand_shock,
+    "scenario-americas": run_scenario_americas,
+    "scenario-apac": run_scenario_apac,
+    "scenario-emea": run_scenario_emea,
+    "scenario-global": run_scenario_global,
 }
+
+#: The scenario-zoo slice of the registry (what CI's smoke step runs).
+SCENARIO_EXPERIMENT_IDS: List[str] = [
+    experiment_id for experiment_id in EXPERIMENTS if experiment_id.startswith("scenario-")
+]
 
 
 def experiment_ids() -> List[str]:

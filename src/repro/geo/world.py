@@ -292,6 +292,21 @@ class World:
     def europe_dcs(self) -> List[DataCenter]:
         return [self._dcs[code] for code in EUROPE_DC_CODES if code in self._dcs]
 
+    def home_dc(self, country_code: str) -> Optional[DataCenter]:
+        """The country's in-country DC nearest its centroid, if any.
+
+        The RTT-table calibration uses this as the measurement proxy for
+        a country: published inter-region RTTs are DC-to-DC, so a
+        country's Internet RTT toward a remote DC is anchored on its
+        home region's published number.  Countries hosting no DC return
+        ``None`` and are not covered by that calibration.
+        """
+        country = self.country(country_code)
+        hosted = [d for d in self._dcs.values() if d.country_code == country_code]
+        if not hosted:
+            return None
+        return self.nearest_dc(country.centroid, hosted)
+
     def nearest_dc(
         self, point: GeoPoint, candidates: Optional[Sequence[DataCenter]] = None
     ) -> DataCenter:

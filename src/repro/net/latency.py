@@ -76,6 +76,8 @@ REGION_PEERING: Dict[Tuple[str, str], float] = {
     ("africa", "south-america"): 0.40,
     ("oceania", "south-america"): 0.40,
     ("africa", "oceania"): 0.40,
+    ("north-america", "oceania"): 0.60,
+    ("europe", "oceania"): 0.45,
 }
 
 _DEFAULT_PEERING = 0.5
@@ -180,6 +182,7 @@ class LatencyModel:
             richness_overrides = default_richness_calibration()
         self.richness_overrides = dict(richness_overrides)
         self._base_cache: Dict[Tuple[str, str, str], float] = {}
+        self._cached_topology_version = self.topology.version
 
     # -- deterministic per-entity randomness ---------------------------
 
@@ -221,6 +224,12 @@ class LatencyModel:
         """Long-run median RTT for a (country, DC, option) triple."""
         if option not in _OPTION_IDS:
             raise ValueError(f"unknown routing option: {option!r}")
+        if self._cached_topology_version != self.topology.version:
+            # A fiber cut or repair changed the backbone: WAN RTTs follow
+            # the route and must be recomputed; Internet RTTs never touch
+            # the backbone, so their entries stay valid.
+            self._base_cache = {k: v for k, v in self._base_cache.items() if k[2] != WAN}
+            self._cached_topology_version = self.topology.version
         key = (country_code, dc_code, option)
         if key not in self._base_cache:
             country = self.world.country(country_code)

@@ -81,6 +81,7 @@ class WanTopology:
         self._links: Dict[FrozenSet[str], WanLink] = {}
         self._build(dc_degree, pop_attachments)
         self._path_cache: Dict[Tuple[str, str], List[WanLink]] = {}
+        self._version = 0
 
     # -- construction --------------------------------------------------
 
@@ -132,6 +133,18 @@ class WanTopology:
     @property
     def links(self) -> List[WanLink]:
         return list(self._links.values())
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every backbone mutation.
+
+        Downstream caches of route-derived quantities (WAN paths, WAN
+        RTTs) compare against this to detect cuts *and* repairs: a
+        restored link reinstates the pre-cut shortest paths, so entries
+        computed during the cut are just as stale as entries computed
+        before it.
+        """
+        return self._version
 
     @property
     def graph(self) -> nx.Graph:
@@ -198,8 +211,10 @@ class WanTopology:
             raise ValueError("removing link would partition the backbone")
         del self._links[link.key]
         self._path_cache.clear()
+        self._version += 1
 
     def restore_link(self, link: WanLink) -> None:
         """Undo :meth:`remove_link` once the fiber repair lands."""
         self._add_link(link.a, link.b, link.distance_km)
         self._path_cache.clear()
+        self._version += 1

@@ -1,0 +1,182 @@
+"""Published Azure inter-region round-trip latency medians.
+
+The scenario zoo calibrates :class:`repro.net.latency.LatencyModel`
+against real measured corridors instead of hand-tuned priors.  The
+ground truth is Microsoft's published inter-region latency statistics
+(monthly P50 round-trip times between Azure regions, measured DC-to-DC
+over the Microsoft backbone-adjacent Internet paths):
+
+    https://learn.microsoft.com/en-us/azure/networking/azure-network-latency
+
+The table below is a curated snapshot of those published medians for
+the region pairs our 21-DC catalog can form, rounded to the millisecond.
+Values are *indicative* — the source page is refreshed monthly and
+should be consulted for anything operational; here they only anchor the
+synthetic model's Internet RTTs to realistic magnitudes per corridor.
+
+Units and conventions:
+
+* all values are **round-trip** times in **milliseconds**;
+* the table is **symmetric** — ``get_rtt_ms(a, b) == get_rtt_ms(b, a)``;
+* same-region lookups and pairs not in the snapshot return ``None``
+  (Microsoft publishes inter-region numbers only), mirroring snippet-3
+  style lookup tools that surface "no data" rather than inventing one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: DC catalog code → Azure region name used by the published statistics.
+AZURE_REGION: Dict[str, str] = {
+    "ca-central": "canadacentral",
+    "us-east": "eastus",
+    "us-east2": "eastus2",
+    "us-central": "centralus",
+    "us-southcentral": "southcentralus",
+    "us-west": "westus",
+    "us-west2": "westus2",
+    "us-northcentral": "northcentralus",
+    "brazil-south": "brazilsouth",
+    "uk-south": "uksouth",
+    "france-central": "francecentral",
+    "westeurope": "westeurope",
+    "switzerland-north": "switzerlandnorth",
+    "ireland": "northeurope",
+    "southafrica-north": "southafricanorth",
+    "india-central": "centralindia",
+    "japan-east": "japaneast",
+    "hongkong": "eastasia",
+    "singapore": "southeastasia",
+    "australia-east": "australiaeast",
+    "australia-southeast": "australiasoutheast",
+}
+
+#: Published monthly-median RTTs (ms) between Azure regions, one entry
+#: per unordered pair.  Keys are stored sorted; use :func:`get_rtt_ms`.
+_RTT_MS: Dict[Tuple[str, str], float] = {
+    # -- intra-Europe mesh --------------------------------------------
+    ("uksouth", "westeurope"): 10.0,
+    ("northeurope", "uksouth"): 12.0,
+    ("francecentral", "uksouth"): 8.0,
+    ("switzerlandnorth", "uksouth"): 17.0,
+    ("northeurope", "westeurope"): 18.0,
+    ("francecentral", "westeurope"): 11.0,
+    ("switzerlandnorth", "westeurope"): 14.0,
+    ("francecentral", "switzerlandnorth"): 11.0,
+    ("francecentral", "northeurope"): 17.0,
+    ("northeurope", "switzerlandnorth"): 26.0,
+    # -- intra-North-America ------------------------------------------
+    ("canadacentral", "centralus"): 22.0,
+    ("canadacentral", "eastus"): 18.0,
+    ("canadacentral", "eastus2"): 20.0,
+    ("canadacentral", "northcentralus"): 12.0,
+    ("canadacentral", "southcentralus"): 42.0,
+    ("canadacentral", "westus"): 63.0,
+    ("canadacentral", "westus2"): 60.0,
+    ("centralus", "eastus"): 24.0,
+    ("centralus", "eastus2"): 26.0,
+    ("centralus", "northcentralus"): 9.0,
+    ("centralus", "southcentralus"): 21.0,
+    ("centralus", "westus"): 43.0,
+    ("centralus", "westus2"): 37.0,
+    # -- trans-Atlantic -----------------------------------------------
+    ("centralus", "uksouth"): 86.0,
+    ("centralus", "westeurope"): 93.0,
+    ("centralus", "northeurope"): 81.0,
+    ("centralus", "francecentral"): 88.0,
+    ("centralus", "switzerlandnorth"): 100.0,
+    ("canadacentral", "uksouth"): 73.0,
+    ("canadacentral", "westeurope"): 80.0,
+    ("canadacentral", "northeurope"): 68.0,
+    ("canadacentral", "francecentral"): 76.0,
+    ("canadacentral", "switzerlandnorth"): 87.0,
+    ("eastus", "uksouth"): 76.0,
+    ("eastus", "westeurope"): 82.0,
+    # -- South America ------------------------------------------------
+    ("brazilsouth", "eastus"): 115.0,
+    ("brazilsouth", "centralus"): 126.0,
+    ("brazilsouth", "canadacentral"): 129.0,
+    ("brazilsouth", "southcentralus"): 133.0,
+    ("brazilsouth", "uksouth"): 186.0,
+    ("brazilsouth", "westeurope"): 193.0,
+    ("brazilsouth", "francecentral"): 182.0,
+    ("brazilsouth", "northeurope"): 190.0,
+    # -- Africa -------------------------------------------------------
+    ("southafricanorth", "uksouth"): 156.0,
+    ("southafricanorth", "westeurope"): 164.0,
+    ("francecentral", "southafricanorth"): 154.0,
+    ("northeurope", "southafricanorth"): 170.0,
+    ("southafricanorth", "switzerlandnorth"): 166.0,
+    ("centralus", "southafricanorth"): 250.0,
+    ("centralindia", "southafricanorth"): 272.0,
+    # -- India --------------------------------------------------------
+    ("centralindia", "southeastasia"): 36.0,
+    ("centralindia", "eastasia"): 68.0,
+    ("centralindia", "japaneast"): 120.0,
+    ("centralindia", "uksouth"): 110.0,
+    ("centralindia", "westeurope"): 120.0,
+    ("centralindia", "francecentral"): 105.0,
+    ("centralindia", "northeurope"): 122.0,
+    ("centralindia", "switzerlandnorth"): 110.0,
+    # -- East / Southeast Asia ----------------------------------------
+    ("eastasia", "japaneast"): 48.0,
+    ("japaneast", "southeastasia"): 69.0,
+    ("eastasia", "southeastasia"): 34.0,
+    ("centralus", "japaneast"): 131.0,
+    ("japaneast", "westus2"): 97.0,
+    ("japaneast", "westus"): 107.0,
+    ("southeastasia", "uksouth"): 171.0,
+    ("southeastasia", "westeurope"): 165.0,
+    ("centralus", "southeastasia"): 190.0,
+    # -- Oceania ------------------------------------------------------
+    ("australiaeast", "australiasoutheast"): 14.0,
+    ("australiaeast", "southeastasia"): 93.0,
+    ("australiaeast", "japaneast"): 108.0,
+    ("australiaeast", "eastasia"): 120.0,
+    ("australiaeast", "centralus"): 180.0,
+    ("australiaeast", "uksouth"): 252.0,
+    ("australiaeast", "westeurope"): 255.0,
+    ("australiasoutheast", "southeastasia"): 104.0,
+    ("australiasoutheast", "japaneast"): 125.0,
+    ("australiasoutheast", "eastasia"): 134.0,
+    ("australiasoutheast", "centralus"): 192.0,
+    ("australiasoutheast", "westus"): 165.0,
+    ("australiasoutheast", "westus2"): 175.0,
+    ("australiasoutheast", "canadacentral"): 210.0,
+    ("australiasoutheast", "uksouth"): 260.0,
+    ("australiasoutheast", "westeurope"): 265.0,
+    ("australiasoutheast", "francecentral"): 255.0,
+    ("australiasoutheast", "northeurope"): 268.0,
+}
+
+#: Where the numbers come from (surfaced in reports and docs).
+RTT_SOURCE = "https://learn.microsoft.com/en-us/azure/networking/azure-network-latency"
+
+
+def get_rtt_ms(source_region: str, target_region: str) -> Optional[float]:
+    """Published median RTT between two Azure regions, in milliseconds.
+
+    Symmetric lookup; ``None`` for same-region queries and for pairs not
+    in the shipped snapshot (the statistics page only publishes
+    inter-region medians, and the snapshot is deliberately partial —
+    values are published, never interpolated or invented).
+    """
+    if source_region == target_region:
+        return None
+    key: Tuple[str, str] = tuple(sorted((source_region, target_region)))  # type: ignore[assignment]
+    return _RTT_MS.get(key)
+
+
+def dc_pair_rtt_ms(dc_a: str, dc_b: str) -> Optional[float]:
+    """Published RTT between two catalog DCs (via their Azure regions)."""
+    region_a = AZURE_REGION.get(dc_a)
+    region_b = AZURE_REGION.get(dc_b)
+    if region_a is None or region_b is None:
+        return None
+    return get_rtt_ms(region_a, region_b)
+
+
+def covered_region_pairs() -> List[Tuple[str, str]]:
+    """All unordered region pairs the snapshot covers (sorted keys)."""
+    return sorted(_RTT_MS)

@@ -41,6 +41,20 @@ def _highs_core():
     return _core if hasattr(_core, "_Highs") else None
 
 
+#: Feasibility tolerance for persistent HiGHS sessions.  The decomposed
+#: planner's pricing certificate compares reduced costs built from these
+#: sessions' duals against PRICING_TOLERANCE (1e-9); HiGHS's default
+#: 1e-7 dual tolerance leaves sign noise in the duals larger than that,
+#: so a column with a genuinely negative reduced cost can read as
+#: non-negative and the master terminates short of the true optimum.
+FEASIBILITY_TOLERANCE = 1e-10
+
+
+def _set_tight_tolerances(highs) -> None:
+    highs.setOptionValue("primal_feasibility_tolerance", FEASIBILITY_TOLERANCE)
+    highs.setOptionValue("dual_feasibility_tolerance", FEASIBILITY_TOLERANCE)
+
+
 class PreparedHighs:
     """A :class:`LinearProgram` assembled for repeated HiGHS solves."""
 
@@ -201,6 +215,7 @@ class PreparedHighs:
             model.a_matrix_ = a
         highs = core._Highs()
         highs.setOptionValue("output_flag", False)
+        _set_tight_tolerances(highs)
         if highs.passModel(model) != core.HighsStatus.kOk:
             raise RuntimeError("HiGHS rejected the prepared model")
         self._session = (highs, row_lower, row_upper)
@@ -410,6 +425,7 @@ class PreparedSubproblem:
         model.a_matrix_ = a
         highs = core._Highs()
         highs.setOptionValue("output_flag", False)
+        _set_tight_tolerances(highs)
         if highs.passModel(model) != core.HighsStatus.kOk:
             raise RuntimeError("HiGHS rejected the prepared subproblem")
         self._session = (highs, row_lower, row_upper)

@@ -7,11 +7,13 @@ from hypothesis import given, settings, strategies as st
 from repro.geo.world import default_world
 from repro.net.latency import (
     INTERNET,
+    REGION_PEERING,
     WAN,
     LatencyModel,
     LatencyModelParams,
     default_richness_calibration,
 )
+from repro.net.topology import WanTopology
 
 
 @pytest.fixture(scope="module")
@@ -127,6 +129,80 @@ class TestCalibration:
         params = LatencyModelParams()
         assert params.internet_stretch(richness=5.0) >= 1.0
         assert params.internet_stretch(richness=-5.0) == params.internet_stretch(richness=-0.75)
+
+
+class TestRegionPeeringTable:
+    def test_every_dc_hosting_destination_pair_is_covered(self):
+        """No silent 0.5 fallback for reachable corridors.
+
+        Every ordered (client continent, DC continent) pair a scenario
+        can actually produce — any continent with client countries
+        calling into any continent that hosts a DC — must carry an
+        explicit prior; NA→oceania and EU→oceania were missing and
+        silently fell back to ``_DEFAULT_PEERING``.
+        """
+        world = default_world()
+        client_continents = {c.continent for c in world.countries}
+        dc_continents = {d.continent for d in world.dcs}
+        missing = [
+            (src, dst)
+            for src in sorted(client_continents)
+            for dst in sorted(dc_continents)
+            if (src, dst) not in REGION_PEERING
+        ]
+        assert missing == []
+
+    def test_priors_are_normalized(self):
+        for value in REGION_PEERING.values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestTopologyCacheStaleness:
+    def test_cut_query_repair_query(self):
+        """WAN RTTs track the live backbone across a cut and its repair.
+
+        Regression for the stale-cache bug: ``LatencyModel._base_cache``
+        held WAN entries across topology mutations, so RTTs queried
+        before a fiber cut survived the cut, and RTTs queried during the
+        cut survived the repair.
+        """
+        world = default_world()
+        topo = WanTopology(world)
+        model = LatencyModel(world, topology=topo)
+        wan_before = model.base_rtt_ms("GB", "westeurope", WAN)
+        internet_before = model.base_rtt_ms("GB", "westeurope", INTERNET)
+        cut = None
+        for link in topo.wan_path("GB", "westeurope"):
+            try:
+                topo.remove_link(link)
+                cut = link
+                break
+            except ValueError:
+                continue
+        if cut is None:
+            pytest.skip("no removable link on this path")
+        wan_during = model.base_rtt_ms("GB", "westeurope", WAN)
+        assert wan_during != wan_before  # the detour is a different route
+        # Internet RTTs never touch the backbone; their cache stays warm.
+        assert model.base_rtt_ms("GB", "westeurope", INTERNET) == internet_before
+        topo.restore_link(cut)
+        assert model.base_rtt_ms("GB", "westeurope", WAN) == wan_before
+
+    def test_unqueried_model_unaffected_by_version_drift(self):
+        """A model built after mutations computes fresh values directly."""
+        world = default_world()
+        topo = WanTopology(world)
+        reference = LatencyModel(world, topology=WanTopology(world)).base_rtt_ms(
+            "FR", "ireland", WAN
+        )
+        for link in topo.wan_path("FR", "ireland"):
+            try:
+                topo.remove_link(link)
+                topo.restore_link(link)
+                break
+            except ValueError:
+                continue
+        assert LatencyModel(world, topology=topo).base_rtt_ms("FR", "ireland", WAN) == reference
 
 
 class TestSubCountryGranularity:

@@ -115,6 +115,33 @@ class TestFiberCuts:
         topo.restore_link(removed)
         assert topo.wan_path("FR", "westeurope") == original
 
+    def test_version_counter_tracks_mutations(self):
+        topo = WanTopology(default_world())
+        v0 = topo.version
+        removed = None
+        for link in topo.wan_path("FR", "westeurope"):
+            try:
+                topo.remove_link(link)
+                removed = link
+                break
+            except ValueError:
+                continue
+        if removed is None:
+            pytest.skip("no removable link on this path")
+        assert topo.version == v0 + 1
+        topo.restore_link(removed)
+        assert topo.version == v0 + 2
+
+    def test_failed_removal_does_not_bump_version(self):
+        topo = WanTopology(default_world(), dc_degree=1, pop_attachments=1)
+        pop_link = next(
+            ln for ln in topo.links if ln.a.startswith("pop:") or ln.b.startswith("pop:")
+        )
+        v0 = topo.version
+        with pytest.raises(ValueError):
+            topo.remove_link(pop_link)
+        assert topo.version == v0
+
     def test_remove_unknown_link_raises(self):
         topo = WanTopology(default_world())
         with pytest.raises(KeyError):
